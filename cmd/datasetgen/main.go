@@ -1,0 +1,62 @@
+// Command datasetgen writes the synthetic Virginia-Tech-style RO dataset to
+// a CSV file in the format documented in internal/dataset (one row per
+// board/condition/RO measurement).
+//
+// Usage:
+//
+//	datasetgen [-seed N] [-boards N] [-out file.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ropuf/internal/dataset"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 0, "override dataset seed (0 keeps the default)")
+	boards := flag.Int("boards", 0, "override board count (0 keeps the default 199)")
+	out := flag.String("out", "vt_dataset.csv", "output CSV path ('-' for stdout)")
+	flag.Parse()
+
+	cfg := dataset.DefaultVTConfig()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *boards != 0 {
+		cfg.NumBoards = *boards
+		if cfg.NumEnvBoards > *boards {
+			cfg.NumEnvBoards = *boards
+		}
+	}
+	ds, err := dataset.GenerateVT(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := dataset.WriteCSV(w, ds); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %d boards to %s\n", len(ds.Boards), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datasetgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command nist runs the SP 800-22 statistical test suite on bit-streams
+// read from a file (or stdin) and prints the reference suite's
+// final-analysis report.
+//
+// Input format: one bit-stream per line, as ASCII '0'/'1' characters.
+// Whitespace-only lines are skipped.
+//
+// Usage:
+//
+//	nist [-suite standard|short] [file]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/nist"
+)
+
+func main() {
+	suiteName := flag.String("suite", "auto", "test suite: standard, short, or auto (picked from stream length)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	streams, err := readStreams(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(streams) == 0 {
+		fatal(fmt.Errorf("no bit-streams in input"))
+	}
+	var suite []nist.Test
+	switch *suiteName {
+	case "standard":
+		suite = nist.StandardSuite()
+	case "short":
+		suite = nist.ShortSuite(streams[0].Len())
+	case "auto":
+		if streams[0].Len() >= 1_000_000 {
+			suite = nist.StandardSuite()
+		} else {
+			suite = nist.ShortSuite(streams[0].Len())
+		}
+	default:
+		fatal(fmt.Errorf("unknown suite %q", *suiteName))
+	}
+	report, err := nist.RunReport(streams, suite)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(report.Render())
+}
+
+func readStreams(r io.Reader) ([]*bits.Stream, error) {
+	var out []*bits.Stream
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		s, err := bits.FromString(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nist:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadStreams(t *testing.T) {
+	in := "1010\n\n  0111  \n"
+	streams, err := readStreams(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 2 {
+		t.Fatalf("streams = %d, want 2 (blank lines skipped)", len(streams))
+	}
+	if streams[0].String() != "1010" || streams[1].String() != "0111" {
+		t.Fatalf("parsed %q, %q", streams[0], streams[1])
+	}
+}
+
+func TestReadStreamsInvalid(t *testing.T) {
+	if _, err := readStreams(strings.NewReader("10x1\n")); err == nil {
+		t.Fatal("invalid character accepted")
+	}
+	streams, err := readStreams(strings.NewReader(""))
+	if err != nil || len(streams) != 0 {
+		t.Fatalf("empty input: %v / %d streams", err, len(streams))
+	}
+}

@@ -1,0 +1,153 @@
+// Command ropuf is the experiment driver: it regenerates every table and
+// figure of "A Highly Flexible Ring Oscillator PUF" (DAC 2014) on the
+// synthetic datasets.
+//
+// Usage:
+//
+//	ropuf [-out dir] [-parallel N] list|all|experiment <id>...|verify
+//
+//	ropuf list                 print available experiment IDs
+//	ropuf experiment <id>...   run one or more experiments (or "all")
+//	ropuf all                  shorthand for "experiment all"
+//	ropuf verify               check the headline reproduction claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ropuf/internal/circuit"
+	"ropuf/internal/experiments"
+)
+
+var (
+	outDir   = flag.String("out", "", "also write each experiment report to <dir>/<id>.txt")
+	parallel = flag.Int("parallel", 0, "run 'all' with N concurrent workers (0 = sequential)")
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(args); err != nil {
+		fmt.Fprintln(os.Stderr, "ropuf:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  ropuf list                 print available experiment IDs
+  ropuf experiment <id>...   run experiments by ID (or "all")
+  ropuf all                  run every experiment
+  ropuf verify               check the headline reproduction claims (CI gate)
+  ropuf rtl [stages]         emit the Fig. 1 architecture as Verilog (default 5 stages)
+`)
+}
+
+func run(args []string) error {
+	switch args[0] {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	case "all":
+		return runExperiments([]string{"all"})
+	case "experiment", "exp":
+		if len(args) < 2 {
+			return fmt.Errorf("experiment requires at least one ID (try 'ropuf list')")
+		}
+		return runExperiments(args[1:])
+	case "verify":
+		return runVerify()
+	case "rtl":
+		return runRTL(args[1:])
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// runRTL emits the Fig. 1 architecture as synthesizable Verilog:
+// "ropuf rtl [stages]" (default 5 stages) writes a configurable-RO PUF pair
+// module to stdout.
+func runRTL(args []string) error {
+	stages := 5
+	if len(args) > 0 {
+		if _, err := fmt.Sscanf(args[0], "%d", &stages); err != nil {
+			return fmt.Errorf("rtl: stage count %q: %w", args[0], err)
+		}
+	}
+	return circuit.WriteVerilogPair(os.Stdout, fmt.Sprintf("cro_puf_pair_n%d", stages), stages, 16)
+}
+
+func runVerify() error {
+	checks, err := experiments.NewRunner().Verify()
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, c := range checks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+			failed++
+		}
+		fmt.Printf("[%s] %-42s %s\n", mark, c.Name, c.Got)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d reproduction checks failed", failed, len(checks))
+	}
+	fmt.Printf("all %d reproduction checks passed\n", len(checks))
+	return nil
+}
+
+func runExperiments(ids []string) error {
+	r := experiments.NewRunner()
+	all := len(ids) == 1 && ids[0] == "all"
+	if all {
+		ids = experiments.IDs()
+	}
+	var results []*experiments.Result
+	if all && *parallel != 0 {
+		rs, err := r.RunAllParallel(*parallel)
+		if err != nil {
+			return err
+		}
+		results = rs
+	} else {
+		for _, id := range ids {
+			res, err := r.Run(id)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+	}
+	for _, res := range results {
+		fmt.Println(res.Text)
+		if err := writeReport(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeReport persists one experiment's text when -out is set.
+func writeReport(res *experiments.Result) error {
+	if *outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(*outDir, res.ID+".txt")
+	return os.WriteFile(path, []byte(res.Text), 0o644)
+}

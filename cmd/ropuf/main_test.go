@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"experiment"}); err == nil {
+		t.Fatal("experiment without IDs accepted")
+	}
+	if err := run([]string{"experiment", "nope"}); err == nil {
+		t.Fatal("unknown experiment ID accepted")
+	}
+}
+
+func TestRunSingleExperimentWithOut(t *testing.T) {
+	dir := t.TempDir()
+	old := *outDir
+	*outDir = dir
+	defer func() { *outDir = old }()
+	if err := run([]string{"experiment", "tableV"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "tableV.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Configurable PUFs") {
+		t.Fatal("written report missing expected content")
+	}
+}

@@ -1,0 +1,17 @@
+// Package ropuf is a from-scratch Go reproduction of "A Highly Flexible
+// Ring Oscillator PUF" (Gao, Lai, Qu — DAC 2014): a configurable ring
+// oscillator PUF built at inverter granularity, with post-silicon inverter
+// selection that maximizes each PUF bit's delay margin.
+//
+// The repository contains the paper's contribution (internal/core), every
+// substrate it depends on (silicon process/environment model, gate-level
+// configurable rings, the leave-one-out delay-measurement protocol, the
+// regression-based distiller, a full NIST SP 800-22 statistical test suite,
+// baseline PUFs) and an experiment harness (internal/experiments, cmd/ropuf)
+// that regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The root package holds no
+// code; the benchmarks in bench_test.go regenerate each experiment under
+// "go test -bench".
+package ropuf

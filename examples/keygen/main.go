@@ -1,0 +1,132 @@
+// Keygen: derive a device key from a configurable RO PUF and authenticate
+// across environmental corners, with and without a fuzzy extractor.
+//
+// The paper argues that margin-maximized configurable PUF bits are reliable
+// enough to skip error-correction circuitry. This example quantifies that:
+// the traditional RO PUF needs the repetition-code fuzzy extractor to reach
+// a stable key, while the configurable PUF regenerates the key verbatim at
+// every corner.
+//
+// Run with:
+//
+//	go run ./examples/keygen
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ropuf/internal/baseline"
+	"ropuf/internal/bits"
+	"ropuf/internal/core"
+	"ropuf/internal/dataset"
+	"ropuf/internal/fuzzy"
+	"ropuf/internal/rngx"
+	"ropuf/internal/silicon"
+)
+
+// corners are the operating environments the key must survive.
+var corners = []silicon.Env{
+	{V: 0.98, T: 25},
+	{V: 1.44, T: 25},
+	{V: 1.20, T: 65},
+	{V: 0.98, T: 65},
+}
+
+func main() {
+	cfg := dataset.DefaultInHouseConfig()
+	cfg.NumBoards = 1
+	cfg.RingsPerBoard = 64
+	boards, err := dataset.GenerateInHouse(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip := boards[0]
+
+	fmt.Println("=== configurable RO PUF (Case-2), no ECC ===")
+	pairs, err := chip.MeasurePairs(silicon.Nominal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enr, err := core.Enroll(pairs, core.Case2, 0, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	key := enr.Response
+	fmt.Printf("enrolled %d-bit key: %s...\n", key.Len(), key.Slice(0, 16))
+	allStable := true
+	for _, env := range corners {
+		p, err := chip.MeasurePairs(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regen, err := enr.Evaluate(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := regen.Equal(key)
+		allStable = allStable && match
+		fmt.Printf("  %.2fV/%2.0fC: key match = %v\n", env.V, env.T, match)
+	}
+	fmt.Printf("configurable PUF key stable at all corners without ECC: %v\n\n", allStable)
+
+	fmt.Println("=== traditional RO PUF + repetition-code fuzzy extractor ===")
+	delays, err := chip.FullRingDelays(silicon.Nominal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trad, err := baseline.EnrollTraditional(delays, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe := fuzzy.Params{Repeat: 3}
+	tradKey, helper, err := fuzzy.Gen(trad.Response, fe, rngx.New(0x6b657967)) // "keyg"
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw response %d bits -> %d-bit key + %d-bit public helper (%.0f%% redundancy)\n",
+		trad.Response.Len(), tradKey.Len(), helper.Len(),
+		100*float64(helper.Len()-tradKey.Len())/float64(helper.Len()))
+	for _, env := range corners {
+		d, err := chip.FullRingDelays(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		noisy, err := trad.Evaluate(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rawFlips := bits.MustHammingDistance(noisy, trad.Response)
+		rec, err := fuzzy.Rep(noisy, helper, fe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.2fV/%2.0fC: %2d raw bit flips; corrected key match = %v\n",
+			env.V, env.T, rawFlips, rec.Equal(tradKey))
+	}
+
+	fmt.Println("\n=== traditional RO PUF + Golay(23,12) fuzzy extractor ===")
+	gKey, gHelper, err := fuzzy.GolayGen(trad.Response, rngx.New(0x676f6c61)) // "gola"
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw response %d bits -> %d-bit key (rate %.2f vs repetition %.2f), corrects 3 flips per 23-bit block\n",
+		trad.Response.Len(), gKey.Len(),
+		float64(gKey.Len())/float64(gHelper.Len()),
+		1.0/3.0)
+	for _, env := range corners {
+		d, err := chip.FullRingDelays(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		noisy, err := trad.Evaluate(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := fuzzy.GolayRep(noisy, gHelper)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.2fV/%2.0fC: corrected key match = %v\n", env.V, env.T, rec.Equal(gKey))
+	}
+}

@@ -1,0 +1,153 @@
+// Reliability-sweep: explore the paper's central trade-off — reliability
+// threshold Rth versus bit yield — and the effect of ring length n on
+// voltage-variation reliability, across the traditional, 1-out-of-8 and
+// configurable (Case-1/Case-2) RO PUFs.
+//
+// Run with:
+//
+//	go run ./examples/reliability-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ropuf/internal/baseline"
+	"ropuf/internal/core"
+	"ropuf/internal/dataset"
+	"ropuf/internal/silicon"
+)
+
+func main() {
+	sweepThreshold()
+	sweepRingLength()
+}
+
+// sweepThreshold reproduces the §IV.E trade-off on one in-house board:
+// bits surviving an enrollment margin threshold.
+func sweepThreshold() {
+	cfg := dataset.DefaultInHouseConfig()
+	cfg.NumBoards = 1
+	boards, err := dataset.GenerateInHouse(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip := boards[0]
+	pairs, err := chip.MeasurePairs(silicon.Nominal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delays, err := chip.FullRingDelays(silicon.Nominal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bits surviving enrollment threshold (one board, 32 pairs):")
+	fmt.Printf("%10s %12s %12s %12s\n", "Rth (ps)", "traditional", "Case-1", "Case-2")
+	for _, rth := range []float64{0, 3, 6, 9, 12, 15, 20, 30} {
+		trad := 0
+		if e, err := baseline.EnrollTraditional(delays, rth); err == nil {
+			trad = e.Response.Len()
+		}
+		c1 := enrolledBits(pairs, core.Case1, rth)
+		c2 := enrolledBits(pairs, core.Case2, rth)
+		fmt.Printf("%10.1f %12d %12d %12d\n", rth, trad, c1, c2)
+	}
+	fmt.Println()
+}
+
+func enrolledBits(pairs []core.Pair, mode core.Mode, rth float64) int {
+	e, err := core.Enroll(pairs, mode, rth, core.Options{})
+	if err != nil {
+		return 0
+	}
+	return e.NumBits()
+}
+
+// sweepRingLength shows voltage-variation reliability versus ring length
+// on a VT-style environment board.
+func sweepRingLength() {
+	cfg := dataset.DefaultVTConfig()
+	cfg.NumBoards = 6
+	cfg.NumEnvBoards = 1
+	ds, err := dataset.GenerateVT(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	board := ds.EnvBoards()[0]
+	sweep := dataset.VoltageSweep()
+	nominal, err := board.PeriodsPS(dataset.NominalCondition)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("voltage-sweep flip rate (% of bit positions) vs ring length:")
+	fmt.Printf("%6s %8s %14s %14s\n", "n", "bits", "configurable", "traditional")
+	for _, n := range []int{3, 5, 7, 9, 11, 13, 15} {
+		numPairs, _, err := dataset.GroupBitsPerBoard(len(nominal), n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pairsFor := func(cond dataset.Condition) []core.Pair {
+			periods, err := board.PeriodsPS(cond)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out := make([]core.Pair, numPairs)
+			for p := 0; p < numPairs; p++ {
+				base := p * 2 * n
+				out[p] = core.Pair{Alpha: periods[base : base+n], Beta: periods[base+n : base+2*n]}
+			}
+			return out
+		}
+		enr, err := core.Enroll(pairsFor(dataset.NominalCondition), core.Case1, 0, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		confFlips := flipPercent(enr, pairsFor, sweep)
+
+		budget := 2 * n * numPairs
+		trad, err := baseline.EnrollTraditional(nominal[:budget], 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tradFlipped := map[int]bool{}
+		for _, c := range sweep {
+			if c == dataset.NominalCondition {
+				continue
+			}
+			periods, err := board.PeriodsPS(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			resp, err := trad.Evaluate(periods[:budget])
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < resp.Len(); i++ {
+				if resp.Bit(i) != trad.Response.Bit(i) {
+					tradFlipped[i] = true
+				}
+			}
+		}
+		tradPct := 100 * float64(len(tradFlipped)) / float64(trad.Response.Len())
+		fmt.Printf("%6d %8d %13.2f%% %13.2f%%\n", n, numPairs, confFlips, tradPct)
+	}
+}
+
+func flipPercent(enr *core.Enrollment, pairsFor func(dataset.Condition) []core.Pair, sweep []dataset.Condition) float64 {
+	flipped := map[int]bool{}
+	for _, c := range sweep {
+		if c == dataset.NominalCondition {
+			continue
+		}
+		resp, err := enr.Evaluate(pairsFor(c))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < resp.Len(); i++ {
+			if resp.Bit(i) != enr.Response.Bit(i) {
+				flipped[i] = true
+			}
+		}
+	}
+	return 100 * float64(len(flipped)) / float64(enr.Response.Len())
+}

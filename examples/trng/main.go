@@ -1,0 +1,86 @@
+// TRNG: generate random bits from ring-oscillator jitter — the second
+// security primitive the paper's abstract lists for PUF hardware — and
+// validate them with the in-repo NIST suite and min-entropy estimators.
+//
+// Run with:
+//
+//	go run ./examples/trng
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ropuf/internal/circuit"
+	"ropuf/internal/entropy"
+	"ropuf/internal/nist"
+	"ropuf/internal/rngx"
+	"ropuf/internal/silicon"
+	"ropuf/internal/trng"
+)
+
+func main() {
+	die, err := silicon.NewDie(silicon.DefaultParams(), 8, 8, rngx.New(0x7472)) // "tr"
+	if err != nil {
+		log.Fatal(err)
+	}
+	ring, err := circuit.NewBuilder(die).BuildRing(5, circuit.DefaultMuxScale, circuit.DefaultWireScale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := circuit.AllSelected(5)
+
+	// A healthy design point: 10 µs sampling, 100 ps per-cycle jitter.
+	g, err := trng.New(ring, cfg, silicon.Nominal, 1e7, 100, rngx.New(0x6e67)) // "ng"
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ring period %.1f ps, accumulated jitter per sample %.1f ps (%.2fx period)\n",
+		g.PeriodPS(), g.AccumulatedSigmaPS(), g.AccumulatedSigmaPS()/g.PeriodPS())
+
+	raw := g.Bits(16384)
+	fmt.Printf("drew %d raw bits; first 64: %s\n", raw.Len(), raw.Slice(0, 64))
+
+	est, err := entropy.MinEntropyPerBit(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("min-entropy per bit: %.3f (MCV %.3f, Markov %.3f)\n", est.Min, est.MCV, est.Markov)
+
+	results, err := nist.RunAll(raw, nist.ShortSuite(raw.Len()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fails := 0
+	for _, res := range results {
+		for _, pv := range res.PVs {
+			if !pv.Pass() {
+				fails++
+			}
+		}
+	}
+	fmt.Printf("NIST short suite: %d sub-test failures\n", fails)
+
+	folded, err := trng.XORFold(raw, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fest, err := entropy.MinEntropyPerBit(folded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after XOR-4 conditioning: %d bits at min-entropy %.3f\n", folded.Len(), fest.Min)
+
+	// Continuous health tests (SP 800-90B): run on every raw sample in a
+	// real deployment; a healthy source never trips them.
+	health, err := trng.NewHealth(0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < raw.Len(); i++ {
+		health.Feed(raw.Bit(i))
+	}
+	samples, rct, apt := health.Stats()
+	fmt.Printf("health tests over %d samples: RCT failures=%d APT failures=%d healthy=%v\n",
+		samples, rct, apt, health.Healthy())
+}

@@ -1,0 +1,3 @@
+module ropuf
+
+go 1.24

@@ -1,0 +1,178 @@
+// Package attack analyzes the information the configurable RO PUF's public
+// configuration vectors leak about its secret bits — the security argument
+// of the paper's §III.D.
+//
+// The configuration of each pair is helper data: it may be stored off-chip
+// or observed during enrollment, so the design must ensure it does not
+// predict the response bit. The paper constrains Case-2 to select the SAME
+// number of stages in both rings precisely because "the one that uses
+// fewer inverters will most likely be faster".
+//
+// This package quantifies that argument. CountPredictor implements the
+// attack the paper anticipates: guess that the ring with fewer selected
+// stages is faster. Against an *unconstrained* margin-maximizing selector
+// (SelectCase2Unconstrained) the predictor wins almost always; against the
+// paper's equal-count Case-2 it is forced back to coin flipping.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ropuf/internal/circuit"
+	"ropuf/internal/core"
+)
+
+// Predictor guesses a pair's response bit from its public configuration.
+type Predictor interface {
+	// Predict returns the guessed bit (true = top ring slower) and whether
+	// the predictor has any basis for a guess (false = abstain, counted as
+	// a coin flip).
+	Predict(x, y circuit.Config) (bit, confident bool)
+	Name() string
+}
+
+// CountPredictor guesses that the ring selecting fewer stages is faster
+// (hence the other is slower). With equal counts it abstains.
+type CountPredictor struct{}
+
+// Name implements Predictor.
+func (CountPredictor) Name() string { return "stage-count" }
+
+// Predict implements Predictor.
+func (CountPredictor) Predict(x, y circuit.Config) (bool, bool) {
+	cx, cy := x.Ones(), y.Ones()
+	if cx == cy {
+		return false, false
+	}
+	// More stages selected in the top ring → top slower → bit = true.
+	return cx > cy, true
+}
+
+// Result summarizes a predictor's performance over a set of pairs.
+type Result struct {
+	Predictor string
+	Total     int
+	Confident int     // predictions where the attacker did not abstain
+	Correct   int     // correct confident predictions
+	Advantage float64 // |accuracy − 0.5| over all pairs, abstains counted as 0.5
+}
+
+// Accuracy returns the confident-prediction accuracy (0.5 when the
+// predictor always abstains).
+func (r Result) Accuracy() float64 {
+	if r.Confident == 0 {
+		return 0.5
+	}
+	return float64(r.Correct) / float64(r.Confident)
+}
+
+// Evaluate runs a predictor against enrolled selections (ground truth bits
+// included in each Selection).
+func Evaluate(p Predictor, selections []core.Selection) (Result, error) {
+	if p == nil {
+		return Result{}, errors.New("attack: nil predictor")
+	}
+	res := Result{Predictor: p.Name()}
+	correctMass := 0.0
+	for _, sel := range selections {
+		if sel.X == nil || sel.Y == nil {
+			continue // masked/degenerate pair: nothing published
+		}
+		res.Total++
+		guess, confident := p.Predict(sel.X, sel.Y)
+		if !confident {
+			correctMass += 0.5
+			continue
+		}
+		res.Confident++
+		if guess == sel.Bit {
+			res.Correct++
+			correctMass++
+		}
+	}
+	if res.Total == 0 {
+		return Result{}, errors.New("attack: no usable selections")
+	}
+	res.Advantage = math.Abs(correctMass/float64(res.Total) - 0.5)
+	return res, nil
+}
+
+// SelectCase2Unconstrained is the insecure strawman the paper's equal-count
+// rule defends against: maximize |Σ selected α − Σ selected β| over ALL
+// non-empty subset pairs, with no cardinality constraint. The optimum
+// simply selects every stage of the slow ring and the single fastest stage
+// of the fast ring, so the stage counts broadcast the answer.
+func SelectCase2Unconstrained(alpha, beta []float64) (core.Selection, error) {
+	n := len(alpha)
+	if n == 0 || n != len(beta) {
+		return core.Selection{}, fmt.Errorf("attack: bad vector lengths %d/%d", len(alpha), len(beta))
+	}
+	// Direction 1: top slower. Take all positive-contribution α... since
+	// delays are positive, the maximum of Σα_S − Σβ_T is Σ(all α) − min β.
+	sumAll := func(v []float64) float64 {
+		var s float64
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	argMin := func(v []float64) int {
+		idx := 0
+		for i, x := range v {
+			if x < v[idx] {
+				idx = i
+			}
+		}
+		return idx
+	}
+	topMargin := sumAll(alpha) - beta[argMin(beta)]
+	botMargin := sumAll(beta) - alpha[argMin(alpha)]
+	x := circuit.NewConfig(n)
+	y := circuit.NewConfig(n)
+	if topMargin >= botMargin {
+		for i := range x {
+			x[i] = true
+		}
+		y[argMin(beta)] = true
+	} else {
+		for i := range y {
+			y[i] = true
+		}
+		x[argMin(alpha)] = true
+	}
+	sel := core.Selection{X: x, Y: y}
+	bit, margin, err := sel.Evaluate(alpha, beta)
+	if err != nil {
+		return core.Selection{}, err
+	}
+	sel.Bit, sel.Margin = bit, margin
+	return sel, nil
+}
+
+// ConfigEntropyBits estimates the empirical Shannon entropy (in bits) of a
+// set of configuration vectors, an upper bound on how much an attacker
+// learns per pair from the helper data distribution itself.
+func ConfigEntropyBits(configs []circuit.Config) (float64, error) {
+	if len(configs) == 0 {
+		return 0, errors.New("attack: no configurations")
+	}
+	counts := map[string]int{}
+	for _, c := range configs {
+		counts[c.String()]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var h float64
+	n := float64(len(configs))
+	for _, k := range keys {
+		p := float64(counts[k]) / n
+		h -= p * math.Log2(p)
+	}
+	return h, nil
+}

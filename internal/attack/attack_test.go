@@ -1,0 +1,170 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ropuf/internal/circuit"
+	"ropuf/internal/core"
+	"ropuf/internal/rngx"
+)
+
+func randomVectors(r *rngx.RNG, n int) (alpha, beta []float64) {
+	alpha = make([]float64, n)
+	beta = make([]float64, n)
+	for i := 0; i < n; i++ {
+		alpha[i] = 200 + 5*r.Norm()
+		beta[i] = 200 + 5*r.Norm()
+	}
+	return alpha, beta
+}
+
+func TestCountPredictorAbstainsOnEqualCounts(t *testing.T) {
+	x, _ := circuit.ParseConfig("1100")
+	y, _ := circuit.ParseConfig("0011")
+	if _, confident := (CountPredictor{}).Predict(x, y); confident {
+		t.Fatal("predictor confident despite equal counts")
+	}
+	y2, _ := circuit.ParseConfig("0111")
+	bit, confident := (CountPredictor{}).Predict(x, y2)
+	if !confident || bit {
+		t.Fatalf("bottom has more stages: want confident guess bit=false, got %v/%v", bit, confident)
+	}
+}
+
+func TestEqualCountRuleDefeatsCountPredictor(t *testing.T) {
+	r := rngx.New(1)
+	var sels []core.Selection
+	for i := 0; i < 500; i++ {
+		alpha, beta := randomVectors(r, 9)
+		s, err := core.SelectCase2(alpha, beta, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sels = append(sels, s)
+	}
+	res, err := Evaluate(CountPredictor{}, sels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confident != 0 {
+		t.Fatalf("predictor made %d confident guesses against equal-count selections", res.Confident)
+	}
+	if res.Advantage != 0 {
+		t.Fatalf("advantage %g against equal-count selections, want 0", res.Advantage)
+	}
+}
+
+func TestUnconstrainedSelectorLeaks(t *testing.T) {
+	r := rngx.New(2)
+	var sels []core.Selection
+	for i := 0; i < 500; i++ {
+		alpha, beta := randomVectors(r, 9)
+		s, err := SelectCase2Unconstrained(alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sels = append(sels, s)
+	}
+	res, err := Evaluate(CountPredictor{}, sels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy() < 0.8 {
+		t.Fatalf("count predictor accuracy %.2f against unconstrained selector, expected >= 0.8", res.Accuracy())
+	}
+	if res.Advantage < 0.3 {
+		t.Fatalf("advantage %.3f, expected large leak", res.Advantage)
+	}
+}
+
+func TestUnconstrainedMarginDominatesConstrained(t *testing.T) {
+	// Dropping the constraint can only increase the achievable margin.
+	check := func(seed uint64) bool {
+		r := rngx.New(seed)
+		n := 2 + r.Intn(10)
+		alpha, beta := randomVectors(r, n)
+		u, err := SelectCase2Unconstrained(alpha, beta)
+		if err != nil {
+			return false
+		}
+		c, err := core.SelectCase2(alpha, beta, core.Options{})
+		if err != nil {
+			return false
+		}
+		return u.Margin >= c.Margin-1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnconstrainedSelectionShape(t *testing.T) {
+	// The optimum takes the whole slow ring against the fastest stage of
+	// the fast ring.
+	alpha := []float64{10, 11, 12}
+	beta := []float64{5, 4, 6}
+	s, err := SelectCase2Unconstrained(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.X.Ones() != 3 || s.Y.Ones() != 1 {
+		t.Fatalf("selection %s/%s, want all-top vs one-bottom", s.X, s.Y)
+	}
+	if !s.Y[1] {
+		t.Fatal("bottom selection should pick the fastest stage (index 1)")
+	}
+	if want := 10.0 + 11 + 12 - 4; math.Abs(s.Margin-want) > 1e-12 {
+		t.Fatalf("margin %g, want %g", s.Margin, want)
+	}
+	if !s.Bit {
+		t.Fatal("top should be slower")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Fatal("nil predictor accepted")
+	}
+	if _, err := Evaluate(CountPredictor{}, nil); err == nil {
+		t.Fatal("empty selection list accepted")
+	}
+	// Masked selections (nil configs) are skipped.
+	if _, err := Evaluate(CountPredictor{}, []core.Selection{{}}); err == nil {
+		t.Fatal("all-masked selection list accepted")
+	}
+}
+
+func TestSelectCase2UnconstrainedValidation(t *testing.T) {
+	if _, err := SelectCase2Unconstrained(nil, nil); err == nil {
+		t.Fatal("empty vectors accepted")
+	}
+	if _, err := SelectCase2Unconstrained([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestConfigEntropyBits(t *testing.T) {
+	c1, _ := circuit.ParseConfig("10")
+	c2, _ := circuit.ParseConfig("01")
+	// Two equiprobable configurations: 1 bit.
+	h, err := ConfigEntropyBits([]circuit.Config{c1, c2, c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-1) > 1e-12 {
+		t.Fatalf("entropy %g, want 1", h)
+	}
+	// Constant: 0 bits.
+	h, err = ConfigEntropyBits([]circuit.Config{c1, c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("entropy %g, want 0", h)
+	}
+	if _, err := ConfigEntropyBits(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

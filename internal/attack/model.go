@@ -1,0 +1,180 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"ropuf/internal/circuit"
+	"ropuf/internal/rngx"
+)
+
+// This file implements the modeling attack the paper's related-work section
+// warns about (§II): *reconfigurable* PUFs that accept configuration
+// vectors as challenges "expose more information and thus are vulnerable to
+// attacks such as modeling and machine learning". A configured ring pair's
+// response is linear in the per-stage delay differences:
+//
+//	bit = sign( Σ_i α_i·x_i − Σ_i β_i·y_i )
+//
+// so an attacker who can query the pair with chosen configurations and
+// observe bits is training a linear classifier over the 2n-dimensional
+// feature vector (x, −y) — exactly what a perceptron learns. The paper's
+// defense is to FIX the configuration post-fabrication; the "modeling"
+// experiment quantifies how quickly the attack succeeds when that advice is
+// ignored.
+
+// CRP is one challenge–response pair of the (hypothetical) reconfigurable
+// use of the architecture.
+type CRP struct {
+	X, Y circuit.Config
+	Bit  bool // true: top ring slower
+}
+
+// GenerateCRPs queries the ground-truth pair (alpha, beta) with uniformly
+// random configuration pairs. Configurations are drawn with at least one
+// stage selected per ring.
+func GenerateCRPs(alpha, beta []float64, count int, rng *rngx.RNG) ([]CRP, error) {
+	n := len(alpha)
+	if n == 0 || n != len(beta) {
+		return nil, fmt.Errorf("attack: bad vector lengths %d/%d", len(alpha), len(beta))
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("attack: CRP count must be positive, got %d", count)
+	}
+	randCfg := func() circuit.Config {
+		for {
+			c := circuit.NewConfig(n)
+			ones := 0
+			for i := range c {
+				if rng.Bool() {
+					c[i] = true
+					ones++
+				}
+			}
+			if ones > 0 {
+				return c
+			}
+		}
+	}
+	out := make([]CRP, count)
+	for k := range out {
+		x, y := randCfg(), randCfg()
+		var d float64
+		for i := 0; i < n; i++ {
+			if x[i] {
+				d += alpha[i]
+			}
+			if y[i] {
+				d -= beta[i]
+			}
+		}
+		out[k] = CRP{X: x, Y: y, Bit: d > 0}
+	}
+	return out, nil
+}
+
+// LinearModel is the attacker's estimate of the pair's delay structure:
+// weights over the 2n features (x‖y) plus a bias, trained by perceptron
+// updates.
+type LinearModel struct {
+	WX, WY []float64
+	Bias   float64
+}
+
+// NewLinearModel returns a zero-initialized model for n-stage pairs.
+func NewLinearModel(n int) (*LinearModel, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("attack: model needs positive stage count, got %d", n)
+	}
+	return &LinearModel{WX: make([]float64, n), WY: make([]float64, n)}, nil
+}
+
+// score returns the model's decision value for a configuration pair.
+func (m *LinearModel) score(x, y circuit.Config) float64 {
+	s := m.Bias
+	for i, b := range x {
+		if b {
+			s += m.WX[i]
+		}
+	}
+	for i, b := range y {
+		if b {
+			s -= m.WY[i]
+		}
+	}
+	return s
+}
+
+// Predict returns the model's guessed response bit.
+func (m *LinearModel) Predict(x, y circuit.Config) (bool, error) {
+	if len(x) != len(m.WX) || len(y) != len(m.WY) {
+		return false, fmt.Errorf("attack: config lengths %d/%d, model has %d stages", len(x), len(y), len(m.WX))
+	}
+	return m.score(x, y) > 0, nil
+}
+
+// Train runs perceptron epochs over the training CRPs and returns the
+// number of updates performed. Training stops early once an epoch is
+// mistake-free.
+func (m *LinearModel) Train(crps []CRP, epochs int) (int, error) {
+	if len(crps) == 0 {
+		return 0, errors.New("attack: no training CRPs")
+	}
+	if epochs <= 0 {
+		return 0, fmt.Errorf("attack: epochs must be positive, got %d", epochs)
+	}
+	updates := 0
+	for e := 0; e < epochs; e++ {
+		mistakes := 0
+		for _, crp := range crps {
+			if len(crp.X) != len(m.WX) || len(crp.Y) != len(m.WY) {
+				return updates, fmt.Errorf("attack: CRP config length mismatch")
+			}
+			pred := m.score(crp.X, crp.Y) > 0
+			if pred == crp.Bit {
+				continue
+			}
+			mistakes++
+			updates++
+			// Perceptron step toward the observed label: label +1 means
+			// "top slower" ⇒ increase selected WX, decrease selected WY.
+			lr := 1.0
+			if !crp.Bit {
+				lr = -1.0
+			}
+			for i, b := range crp.X {
+				if b {
+					m.WX[i] += lr
+				}
+			}
+			for i, b := range crp.Y {
+				if b {
+					m.WY[i] -= lr
+				}
+			}
+			m.Bias += lr
+		}
+		if mistakes == 0 {
+			break
+		}
+	}
+	return updates, nil
+}
+
+// Accuracy evaluates the model on held-out CRPs.
+func (m *LinearModel) Accuracy(crps []CRP) (float64, error) {
+	if len(crps) == 0 {
+		return 0, errors.New("attack: no evaluation CRPs")
+	}
+	correct := 0
+	for _, crp := range crps {
+		pred, err := m.Predict(crp.X, crp.Y)
+		if err != nil {
+			return 0, err
+		}
+		if pred == crp.Bit {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(crps)), nil
+}

@@ -1,0 +1,159 @@
+package attack
+
+import (
+	"testing"
+
+	"ropuf/internal/rngx"
+)
+
+func truthPair(seed uint64, n int) (alpha, beta []float64) {
+	r := rngx.New(seed)
+	return randomVectors(r, n)
+}
+
+func TestGenerateCRPsConsistentWithGroundTruth(t *testing.T) {
+	alpha, beta := truthPair(1, 8)
+	crps, err := GenerateCRPs(alpha, beta, 200, rngx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crps) != 200 {
+		t.Fatalf("got %d CRPs, want 200", len(crps))
+	}
+	for k, crp := range crps {
+		if crp.X.Ones() == 0 || crp.Y.Ones() == 0 {
+			t.Fatalf("CRP %d has an empty configuration", k)
+		}
+		var d float64
+		for i := range alpha {
+			if crp.X[i] {
+				d += alpha[i]
+			}
+			if crp.Y[i] {
+				d -= beta[i]
+			}
+		}
+		if (d > 0) != crp.Bit {
+			t.Fatalf("CRP %d bit inconsistent with ground truth", k)
+		}
+	}
+}
+
+func TestGenerateCRPsValidation(t *testing.T) {
+	if _, err := GenerateCRPs(nil, nil, 10, rngx.New(1)); err == nil {
+		t.Fatal("empty vectors accepted")
+	}
+	a, b := truthPair(3, 4)
+	if _, err := GenerateCRPs(a, b, 0, rngx.New(1)); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := GenerateCRPs(a, b[:2], 5, rngx.New(1)); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestLinearModelLearnsPair(t *testing.T) {
+	alpha, beta := truthPair(4, 13)
+	crps, err := GenerateCRPs(alpha, beta, 1500, rngx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewLinearModel(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Train(crps[:1000], 200); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := model.Accuracy(crps[1000:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("trained model accuracy %.3f, expected >= 0.9 (linear target)", acc)
+	}
+}
+
+func TestLinearModelUntrainedIsChance(t *testing.T) {
+	alpha, beta := truthPair(6, 9)
+	crps, err := GenerateCRPs(alpha, beta, 1000, rngx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewLinearModel(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := model.Accuracy(crps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero weights always predict "false"; accuracy equals the base rate,
+	// which is near 0.5 for symmetric vectors.
+	if acc < 0.3 || acc > 0.7 {
+		t.Fatalf("untrained accuracy %.3f far from chance", acc)
+	}
+}
+
+func TestLinearModelMoreDataHelps(t *testing.T) {
+	alpha, beta := truthPair(8, 13)
+	crps, err := GenerateCRPs(alpha, beta, 2200, rngx.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := crps[2000:]
+	accFor := func(train int) float64 {
+		m, err := NewLinearModel(13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Train(crps[:train], 100); err != nil {
+			t.Fatal(err)
+		}
+		a, err := m.Accuracy(eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	small := accFor(16)
+	large := accFor(2000)
+	if large < small {
+		t.Fatalf("more training data hurt: %.3f -> %.3f", small, large)
+	}
+	if large < 0.9 {
+		t.Fatalf("large-sample accuracy %.3f too low", large)
+	}
+}
+
+func TestLinearModelValidation(t *testing.T) {
+	if _, err := NewLinearModel(0); err == nil {
+		t.Fatal("zero stages accepted")
+	}
+	m, err := NewLinearModel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(nil, 10); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	alpha, beta := truthPair(10, 4)
+	crps, err := GenerateCRPs(alpha, beta, 4, rngx.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(crps, 0); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	if _, err := m.Accuracy(nil); err == nil {
+		t.Fatal("empty evaluation set accepted")
+	}
+	// Mismatched model/config size.
+	m8, _ := NewLinearModel(8)
+	if _, err := m8.Train(crps, 5); err == nil {
+		t.Fatal("CRP length mismatch accepted")
+	}
+	if _, err := m8.Predict(crps[0].X, crps[0].Y); err == nil {
+		t.Fatal("Predict length mismatch accepted")
+	}
+}

@@ -1,0 +1,182 @@
+// Package auth implements challenge–response device authentication on top
+// of the configurable RO PUF — the application the paper's introduction
+// motivates ("chip authentication").
+//
+// Enrollment: the verifier measures each device once (trusted environment),
+// stores per-pair selections and reference bits in a database, and never
+// touches the device's silicon again. Authentication: the verifier sends a
+// challenge naming a random subset of the device's PUF pairs; the device
+// re-measures exactly those pairs with its frozen configurations and
+// returns the bits; the verifier accepts when the Hamming distance to the
+// reference is within a noise tolerance.
+//
+// Each challenge consumes its pair subset (single-use) so a replayed
+// response is rejected, and the tolerance trades false accepts against
+// false rejects — both measurable with the silicon simulator (see
+// examples/authentication).
+package auth
+
+import (
+	"errors"
+	"fmt"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/core"
+	"ropuf/internal/rngx"
+)
+
+// DeviceRecord is the verifier's stored state for one enrolled device.
+type DeviceRecord struct {
+	ID string
+	// Enrollment holds per-pair configurations and reference bits.
+	Enrollment *core.Enrollment
+	// used marks pair indices consumed by past challenges.
+	used []bool
+}
+
+// Challenge names the PUF pairs a device must evaluate, in order.
+type Challenge struct {
+	DeviceID string
+	Pairs    []int
+}
+
+// Verifier is the authentication server: a database of enrolled devices.
+type Verifier struct {
+	// Tolerance is the maximum acceptable Hamming distance between the
+	// response and the stored reference bits, as a fraction of the
+	// challenge length (e.g. 0.1 accepts up to 10% noisy bits).
+	Tolerance float64
+
+	devices map[string]*DeviceRecord
+	rng     *rngx.RNG
+}
+
+// NewVerifier creates a verifier with the given noise tolerance fraction.
+func NewVerifier(tolerance float64, rng *rngx.RNG) (*Verifier, error) {
+	if tolerance < 0 || tolerance >= 0.5 {
+		return nil, fmt.Errorf("auth: tolerance %g outside [0, 0.5)", tolerance)
+	}
+	if rng == nil {
+		return nil, errors.New("auth: nil RNG")
+	}
+	return &Verifier{Tolerance: tolerance, devices: map[string]*DeviceRecord{}, rng: rng}, nil
+}
+
+// Enroll registers a device from its measured pairs. The enrollment
+// measurement happens once, in a trusted environment.
+func (v *Verifier) Enroll(id string, pairs []core.Pair, mode core.Mode) (*DeviceRecord, error) {
+	if _, ok := v.devices[id]; ok {
+		return nil, fmt.Errorf("auth: device %q already enrolled", id)
+	}
+	enr, err := core.Enroll(pairs, mode, 0, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("auth: enrolling %q: %w", id, err)
+	}
+	rec := &DeviceRecord{ID: id, Enrollment: enr, used: make([]bool, len(enr.Selections))}
+	v.devices[id] = rec
+	return rec, nil
+}
+
+// NumFresh returns how many unconsumed pairs a device still has.
+func (v *Verifier) NumFresh(id string) (int, error) {
+	rec, ok := v.devices[id]
+	if !ok {
+		return 0, fmt.Errorf("auth: unknown device %q", id)
+	}
+	n := 0
+	for i, u := range rec.used {
+		if !u && rec.Enrollment.Mask[i] {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// NewChallenge draws a single-use challenge of length k for the device.
+// The selected pairs are consumed immediately (even if the authentication
+// later fails), so an eavesdropped response cannot be replayed.
+func (v *Verifier) NewChallenge(id string, k int) (*Challenge, error) {
+	rec, ok := v.devices[id]
+	if !ok {
+		return nil, fmt.Errorf("auth: unknown device %q", id)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("auth: challenge length %d must be positive", k)
+	}
+	var fresh []int
+	for i, u := range rec.used {
+		if !u && rec.Enrollment.Mask[i] {
+			fresh = append(fresh, i)
+		}
+	}
+	if len(fresh) < k {
+		return nil, fmt.Errorf("auth: device %q has only %d fresh pairs, need %d", id, len(fresh), k)
+	}
+	v.rng.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
+	chosen := append([]int(nil), fresh[:k]...)
+	for _, i := range chosen {
+		rec.used[i] = true
+	}
+	return &Challenge{DeviceID: id, Pairs: chosen}, nil
+}
+
+// referenceBits extracts the stored bits for the challenge's pairs.
+func (v *Verifier) referenceBits(ch *Challenge) (*bits.Stream, error) {
+	rec, ok := v.devices[ch.DeviceID]
+	if !ok {
+		return nil, fmt.Errorf("auth: unknown device %q", ch.DeviceID)
+	}
+	ref := bits.New(len(ch.Pairs))
+	for _, i := range ch.Pairs {
+		if i < 0 || i >= len(rec.Enrollment.Selections) {
+			return nil, fmt.Errorf("auth: challenge pair index %d out of range", i)
+		}
+		ref.Append(rec.Enrollment.Selections[i].Bit)
+	}
+	return ref, nil
+}
+
+// Verify checks a device's response against the stored reference.
+// It returns the measured Hamming distance alongside the verdict.
+func (v *Verifier) Verify(ch *Challenge, response *bits.Stream) (ok bool, distance int, err error) {
+	ref, err := v.referenceBits(ch)
+	if err != nil {
+		return false, 0, err
+	}
+	if response.Len() != ref.Len() {
+		return false, 0, fmt.Errorf("auth: response has %d bits, challenge expects %d", response.Len(), ref.Len())
+	}
+	d, err := bits.HammingDistance(ref, response)
+	if err != nil {
+		return false, 0, err
+	}
+	limit := int(v.Tolerance * float64(ref.Len()))
+	return d <= limit, d, nil
+}
+
+// Prover is the device side: it holds the frozen enrollment configurations
+// and answers challenges from fresh measurements.
+type Prover struct {
+	Enrollment *core.Enrollment
+}
+
+// Respond evaluates the challenged pairs against fresh measurements of
+// *all* the device's pairs (the measurement interface re-measures the whole
+// array; the challenge picks which bits leave the device).
+func (p *Prover) Respond(ch *Challenge, fresh []core.Pair) (*bits.Stream, error) {
+	if len(fresh) != len(p.Enrollment.Selections) {
+		return nil, fmt.Errorf("auth: device measured %d pairs, enrollment has %d", len(fresh), len(p.Enrollment.Selections))
+	}
+	out := bits.New(len(ch.Pairs))
+	for _, i := range ch.Pairs {
+		if i < 0 || i >= len(fresh) {
+			return nil, fmt.Errorf("auth: challenge pair index %d out of range", i)
+		}
+		bit, _, err := p.Enrollment.Selections[i].Evaluate(fresh[i].Alpha, fresh[i].Beta)
+		if err != nil {
+			return nil, err
+		}
+		out.Append(bit)
+	}
+	return out, nil
+}

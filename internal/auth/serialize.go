@@ -1,0 +1,92 @@
+package auth
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ropuf/internal/core"
+	"ropuf/internal/rngx"
+)
+
+// Verifier persistence: an authentication server must survive restarts
+// without re-enrolling devices (re-enrollment needs physical access). The
+// format embeds each device's core enrollment (its own versioned JSON) plus
+// the consumed-challenge bookkeeping.
+
+type verifierJSON struct {
+	Version   int          `json:"version"`
+	Tolerance float64      `json:"tolerance"`
+	Devices   []deviceJSON `json:"devices"`
+}
+
+type deviceJSON struct {
+	ID         string          `json:"id"`
+	Enrollment json.RawMessage `json:"enrollment"`
+	Used       []bool          `json:"used"`
+}
+
+const verifierVersion = 1
+
+// Save writes the verifier database (all devices, consumed-pair state) to w.
+// The RNG state is not persisted; pass a fresh source to LoadVerifier.
+func (v *Verifier) Save(w io.Writer) error {
+	out := verifierJSON{Version: verifierVersion, Tolerance: v.Tolerance}
+	ids := make([]string, 0, len(v.devices))
+	for id := range v.devices {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec := v.devices[id]
+		var buf bytes.Buffer
+		if err := rec.Enrollment.Save(&buf); err != nil {
+			return fmt.Errorf("auth: saving device %q: %w", id, err)
+		}
+		out.Devices = append(out.Devices, deviceJSON{
+			ID:         id,
+			Enrollment: json.RawMessage(buf.Bytes()),
+			Used:       rec.used,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadVerifier restores a verifier database written by Save. rng supplies
+// the challenge randomness for the restored instance (RNG state is not part
+// of the on-disk format).
+func LoadVerifier(r io.Reader, rng *rngx.RNG) (*Verifier, error) {
+	var in verifierJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("auth: decoding verifier: %w", err)
+	}
+	if in.Version != verifierVersion {
+		return nil, fmt.Errorf("auth: unsupported verifier version %d", in.Version)
+	}
+	v, err := NewVerifier(in.Tolerance, rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, dj := range in.Devices {
+		if dj.ID == "" {
+			return nil, fmt.Errorf("auth: device with empty ID")
+		}
+		if _, dup := v.devices[dj.ID]; dup {
+			return nil, fmt.Errorf("auth: duplicate device %q", dj.ID)
+		}
+		enr, err := core.LoadEnrollment(bytes.NewReader(dj.Enrollment))
+		if err != nil {
+			return nil, fmt.Errorf("auth: device %q enrollment: %w", dj.ID, err)
+		}
+		if len(dj.Used) != len(enr.Selections) {
+			return nil, fmt.Errorf("auth: device %q used-state length %d, enrollment has %d pairs",
+				dj.ID, len(dj.Used), len(enr.Selections))
+		}
+		v.devices[dj.ID] = &DeviceRecord{ID: dj.ID, Enrollment: enr, used: dj.Used}
+	}
+	return v, nil
+}

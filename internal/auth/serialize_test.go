@@ -1,0 +1,127 @@
+package auth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ropuf/internal/core"
+	"ropuf/internal/rngx"
+)
+
+func TestVerifierSaveLoadRoundtrip(t *testing.T) {
+	v, rec, pairs := newTestVerifier(t)
+	// Consume a challenge so used-state is non-trivial.
+	ch, err := v.NewChallenge("dev0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshBefore, err := v.NumFresh("dev0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadVerifier(&buf, rngx.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Tolerance != v.Tolerance {
+		t.Fatalf("tolerance changed: %g vs %g", restored.Tolerance, v.Tolerance)
+	}
+	freshAfter, err := restored.NumFresh("dev0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshAfter != freshBefore {
+		t.Fatalf("consumed-pair state lost: %d fresh, want %d", freshAfter, freshBefore)
+	}
+	// The restored verifier must verify a genuine response to the old
+	// challenge (challenge pairs were consumed, but verification of an
+	// in-flight challenge still works against stored bits).
+	prover := &Prover{Enrollment: rec.Enrollment}
+	resp, err := prover.Respond(ch, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, d, err := restored.Verify(ch, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || d != 0 {
+		t.Fatalf("restored verifier rejected genuine response (ok=%v d=%d)", ok, d)
+	}
+	// And issue fresh challenges that avoid consumed pairs.
+	ch2, err := restored.NewChallenge("dev0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usedOld := map[int]bool{}
+	for _, i := range ch.Pairs {
+		usedOld[i] = true
+	}
+	for _, i := range ch2.Pairs {
+		if usedOld[i] {
+			t.Fatalf("restored verifier reissued consumed pair %d", i)
+		}
+	}
+}
+
+func TestVerifierSaveLoadMultipleDevices(t *testing.T) {
+	v, err := NewVerifier(0.1, rngx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := v.Enroll(id, fabPairs(uint64(id[0]), 16, 5), core.Case1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadVerifier(&buf, rngx.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := restored.NumFresh(id); err != nil {
+			t.Fatalf("device %q lost: %v", id, err)
+		}
+	}
+}
+
+func TestLoadVerifierRejectsCorruption(t *testing.T) {
+	v, _, _ := newTestVerifier(t)
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := []struct {
+		name string
+		mod  func(string) string
+	}{
+		{"garbage", func(string) string { return "{" }},
+		{"bad version", func(s string) string { return strings.Replace(s, `"version": 1`, `"version": 2`, 1) }},
+		{"bad tolerance", func(s string) string {
+			return strings.Replace(s, `"tolerance": 0.15`, `"tolerance": 0.9`, 1)
+		}},
+		{"truncated used", func(s string) string {
+			return strings.Replace(s, "true,", "", 1) // shortens a used array or mask
+		}},
+	}
+	for _, c := range cases {
+		if _, err := LoadVerifier(strings.NewReader(c.mod(good)), rngx.New(1)); err == nil {
+			t.Errorf("%s: corruption accepted", c.name)
+		}
+	}
+	if _, err := LoadVerifier(strings.NewReader(good), nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package bits
+
+import (
+	"testing"
+)
+
+func benchPair(n int) (*Stream, *Stream) {
+	a := New(n)
+	b := New(n)
+	state := uint64(12345)
+	next := func() bool {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state>>40&1 == 1
+	}
+	for i := 0; i < n; i++ {
+		a.Append(next())
+		b.Append(next())
+	}
+	return a, b
+}
+
+func benchHD(b *testing.B, n int) {
+	b.Helper()
+	x, y := benchPair(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustHammingDistance(x, y)
+	}
+}
+
+func BenchmarkHammingDistance96(b *testing.B)   { benchHD(b, 96) }
+func BenchmarkHammingDistance1k(b *testing.B)   { benchHD(b, 1024) }
+func BenchmarkHammingDistance100k(b *testing.B) { benchHD(b, 100_000) }
+
+func BenchmarkAppend(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(1024)
+		for j := 0; j < 1024; j++ {
+			s.Append(j&1 == 1)
+		}
+	}
+}
+
+func BenchmarkOnesCount100k(b *testing.B) {
+	s, _ := benchPair(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.OnesCount()
+	}
+}
+
+func BenchmarkStringRoundtrip1k(b *testing.B) {
+	s, _ := benchPair(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromString(s.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

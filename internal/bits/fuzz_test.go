@@ -1,0 +1,62 @@
+package bits
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzFromString(f *testing.F) {
+	f.Add("0")
+	f.Add("1")
+	f.Add("0101010101")
+	f.Add("")
+	f.Add("1111111111111111111111111111111111111111111111111111111111111111111")
+	f.Add("01x")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := FromString(in)
+		valid := strings.Trim(in, "01") == ""
+		if valid && err != nil {
+			t.Fatalf("valid input %q rejected: %v", in, err)
+		}
+		if !valid && err == nil {
+			t.Fatalf("invalid input %q accepted", in)
+		}
+		if err != nil {
+			return
+		}
+		if s.Len() != len(in) {
+			t.Fatalf("length %d, want %d", s.Len(), len(in))
+		}
+		if s.String() != in {
+			t.Fatalf("roundtrip %q -> %q", in, s.String())
+		}
+		if d := MustHammingDistance(s, s); d != 0 {
+			t.Fatalf("self-distance %d", d)
+		}
+	})
+}
+
+func FuzzSliceConcat(f *testing.F) {
+	f.Add("0110", uint8(1), uint8(3))
+	f.Add("1", uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, in string, loSel, hiSel uint8) {
+		s, err := FromString(in)
+		if err != nil {
+			return
+		}
+		if s.Len() == 0 {
+			return
+		}
+		lo := int(loSel) % (s.Len() + 1)
+		hi := int(hiSel) % (s.Len() + 1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		left := s.Slice(0, lo)
+		mid := s.Slice(lo, hi)
+		right := s.Slice(hi, s.Len())
+		if !Concat(left, mid, right).Equal(s) {
+			t.Fatalf("slice/concat roundtrip broke for %q [%d:%d]", in, lo, hi)
+		}
+	})
+}

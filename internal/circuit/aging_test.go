@@ -1,0 +1,85 @@
+package circuit
+
+import (
+	"testing"
+
+	"ropuf/internal/silicon"
+)
+
+func TestAgedDelayZeroStressIdentity(t *testing.T) {
+	r := testRing(t, 5, 20)
+	fresh := silicon.Aging{}
+	for i := range r.Units {
+		for _, sel := range []bool{true, false} {
+			aged, err := r.Units[i].AgedDelayPS(sel, silicon.Nominal, fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if aged != r.Units[i].DelayPS(sel, silicon.Nominal) {
+				t.Fatalf("stage %d sel=%v: zero stress changed delay", i, sel)
+			}
+		}
+	}
+}
+
+func TestAgedHalfPeriodSlower(t *testing.T) {
+	r := testRing(t, 5, 21)
+	cfg := AllSelected(5)
+	fresh, err := r.HalfPeriodPS(cfg, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aged, err := r.AgedHalfPeriodPS(cfg, silicon.Nominal, silicon.Aging{Years: 5, Activity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aged <= fresh {
+		t.Fatalf("aged half-period %.2f not slower than fresh %.2f", aged, fresh)
+	}
+}
+
+func TestAgedTrueDdiffs(t *testing.T) {
+	r := testRing(t, 4, 22)
+	stress := silicon.Aging{Years: 2, Activity: 1}
+	dd, err := r.AgedTrueDdiffsPS(silicon.Nominal, stress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dd) != 4 {
+		t.Fatalf("len = %d, want 4", len(dd))
+	}
+	for i, v := range dd {
+		want, err := r.Units[i].AgedDdiffPS(silicon.Nominal, stress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Fatalf("stage %d mismatch", i)
+		}
+	}
+	// Zero stress reduces to the unaged ground truth.
+	dd0, err := r.AgedTrueDdiffsPS(silicon.Nominal, silicon.Aging{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := r.TrueDdiffsPS(silicon.Nominal)
+	for i := range truth {
+		if dd0[i] != truth[i] {
+			t.Fatalf("stage %d: zero-stress aged ddiff differs from truth", i)
+		}
+	}
+}
+
+func TestAgedValidation(t *testing.T) {
+	r := testRing(t, 3, 23)
+	bad := silicon.Aging{Years: -1}
+	if _, err := r.AgedHalfPeriodPS(AllSelected(3), silicon.Nominal, bad); err == nil {
+		t.Fatal("bad stress accepted")
+	}
+	if _, err := r.AgedHalfPeriodPS(NewConfig(2), silicon.Nominal, silicon.Aging{}); err == nil {
+		t.Fatal("wrong config length accepted")
+	}
+	if _, err := r.AgedTrueDdiffsPS(silicon.Nominal, bad); err == nil {
+		t.Fatal("bad stress accepted by AgedTrueDdiffsPS")
+	}
+}

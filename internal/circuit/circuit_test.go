@@ -1,0 +1,270 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ropuf/internal/rngx"
+	"ropuf/internal/silicon"
+)
+
+func testRing(t *testing.T, stages int, seed uint64) *Ring {
+	t.Helper()
+	die, err := silicon.NewDie(silicon.DefaultParams(), 16, 16, rngx.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewBuilder(die).BuildRing(stages, DefaultMuxScale, DefaultWireScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestConfigStringRoundtrip(t *testing.T) {
+	check := func(mask uint16, lenSel uint8) bool {
+		n := int(lenSel%16) + 1
+		c := NewConfig(n)
+		for i := 0; i < n; i++ {
+			c[i] = mask>>uint(i)&1 == 1
+		}
+		parsed, err := ParseConfig(c.String())
+		if err != nil {
+			return false
+		}
+		if len(parsed) != n {
+			return false
+		}
+		for i := range parsed {
+			if parsed[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseConfigInvalid(t *testing.T) {
+	if _, err := ParseConfig("01x"); err == nil {
+		t.Fatal("ParseConfig accepted invalid character")
+	}
+}
+
+func TestConfigOnesAndClone(t *testing.T) {
+	c, _ := ParseConfig("10110")
+	if c.Ones() != 3 {
+		t.Fatalf("Ones = %d, want 3", c.Ones())
+	}
+	cp := c.Clone()
+	cp[0] = false
+	if !c[0] {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestAllSelected(t *testing.T) {
+	c := AllSelected(4)
+	if c.Ones() != 4 {
+		t.Fatalf("AllSelected Ones = %d, want 4", c.Ones())
+	}
+	if NewConfig(4).Ones() != 0 {
+		t.Fatal("NewConfig should be all zeros")
+	}
+}
+
+func TestHalfPeriodIsSumOfStageDelays(t *testing.T) {
+	r := testRing(t, 5, 1)
+	env := silicon.Nominal
+	cfg, _ := ParseConfig("10101")
+	hp, err := r.HalfPeriodPS(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Die.DelayAtPS(r.Enable, env)
+	for i := range r.Units {
+		want += r.Units[i].DelayPS(cfg[i], env)
+	}
+	if math.Abs(hp-want) > 1e-9 {
+		t.Fatalf("HalfPeriod = %.6f, want %.6f", hp, want)
+	}
+}
+
+func TestPeriodTwiceHalfPeriod(t *testing.T) {
+	r := testRing(t, 3, 2)
+	cfg := AllSelected(3)
+	hp, _ := r.HalfPeriodPS(cfg, silicon.Nominal)
+	p, _ := r.PeriodPS(cfg, silicon.Nominal)
+	if math.Abs(p-2*hp) > 1e-9 {
+		t.Fatalf("Period %.4f != 2 × HalfPeriod %.4f", p, hp)
+	}
+}
+
+func TestFrequencyPeriodConsistency(t *testing.T) {
+	r := testRing(t, 5, 3)
+	cfg := AllSelected(5)
+	p, _ := r.PeriodPS(cfg, silicon.Nominal)
+	f, _ := r.FrequencyMHz(cfg, silicon.Nominal)
+	if math.Abs(f*p-1e6) > 1e-6*1e6*1e-9 {
+		if math.Abs(f*p-1e6)/1e6 > 1e-12 {
+			t.Fatalf("f·p = %.6f, want 1e6 (MHz·ps)", f*p)
+		}
+	}
+}
+
+func TestConfigLengthValidation(t *testing.T) {
+	r := testRing(t, 4, 4)
+	if _, err := r.HalfPeriodPS(NewConfig(3), silicon.Nominal); err == nil {
+		t.Fatal("accepted wrong-length configuration")
+	}
+	if _, err := r.PeriodPS(NewConfig(5), silicon.Nominal); err == nil {
+		t.Fatal("accepted wrong-length configuration")
+	}
+	if _, err := r.FrequencyMHz(NewConfig(5), silicon.Nominal); err == nil {
+		t.Fatal("accepted wrong-length configuration")
+	}
+}
+
+func TestSelectedStageSlower(t *testing.T) {
+	// Selecting a stage routes through inverter + MUX path-1, which is
+	// slower than the bypass wire for the default scales.
+	r := testRing(t, 6, 5)
+	for i := range r.Units {
+		sel := r.Units[i].DelayPS(true, silicon.Nominal)
+		byp := r.Units[i].DelayPS(false, silicon.Nominal)
+		if sel <= byp {
+			t.Fatalf("stage %d: selected delay %.2f not slower than bypass %.2f", i, sel, byp)
+		}
+	}
+}
+
+func TestDdiffMatchesDelayDifference(t *testing.T) {
+	r := testRing(t, 4, 6)
+	env := silicon.Env{V: 1.08, T: 35}
+	for i := range r.Units {
+		want := r.Units[i].DelayPS(true, env) - r.Units[i].DelayPS(false, env)
+		if math.Abs(r.Units[i].DdiffPS(env)-want) > 1e-9 {
+			t.Fatalf("stage %d DdiffPS mismatch", i)
+		}
+	}
+}
+
+func TestTrueDdiffsPS(t *testing.T) {
+	r := testRing(t, 5, 7)
+	dd := r.TrueDdiffsPS(silicon.Nominal)
+	if len(dd) != 5 {
+		t.Fatalf("TrueDdiffsPS length %d, want 5", len(dd))
+	}
+	for i, v := range dd {
+		if math.Abs(v-r.Units[i].DdiffPS(silicon.Nominal)) > 1e-12 {
+			t.Fatalf("stage %d mismatch", i)
+		}
+	}
+}
+
+func TestOscillatesParity(t *testing.T) {
+	r := testRing(t, 5, 8)
+	cases := []struct {
+		cfg  string
+		want bool
+	}{
+		{"00000", true},  // 0 inverters + enable NAND = 1 inversion: oscillates
+		{"10000", false}, // 2 inversions
+		{"11000", true},
+		{"11111", false}, // 6 inversions
+	}
+	for _, c := range cases {
+		cfg, _ := ParseConfig(c.cfg)
+		if got := r.Oscillates(cfg); got != c.want {
+			t.Errorf("Oscillates(%s) = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestConfigDelayMonotonicity(t *testing.T) {
+	// Adding a selected stage can only slow the ring (selected > bypass).
+	r := testRing(t, 8, 9)
+	check := func(mask uint8, extra uint8) bool {
+		cfg := NewConfig(8)
+		for i := 0; i < 8; i++ {
+			cfg[i] = mask>>uint(i)&1 == 1
+		}
+		i := int(extra) % 8
+		if cfg[i] {
+			return true
+		}
+		base, err := r.HalfPeriodPS(cfg, silicon.Nominal)
+		if err != nil {
+			return false
+		}
+		cfg[i] = true
+		more, err := r.HalfPeriodPS(cfg, silicon.Nominal)
+		if err != nil {
+			return false
+		}
+		return more > base
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderAllocation(t *testing.T) {
+	die, err := silicon.NewDie(silicon.DefaultParams(), 4, 4, rngx.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(die) // 16 devices: ring of 5 stages needs 16
+	if b.Remaining() != 16 {
+		t.Fatalf("Remaining = %d, want 16", b.Remaining())
+	}
+	if _, err := b.BuildRing(5, DefaultMuxScale, DefaultWireScale); err != nil {
+		t.Fatal(err)
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining after build = %d, want 0", b.Remaining())
+	}
+	if _, err := b.BuildRing(1, DefaultMuxScale, DefaultWireScale); err == nil {
+		t.Fatal("builder did not report die exhaustion")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	die, _ := silicon.NewDie(silicon.DefaultParams(), 8, 8, rngx.New(11))
+	b := NewBuilder(die)
+	if _, err := b.BuildRing(0, 1, 1); err == nil {
+		t.Fatal("BuildRing accepted zero stages")
+	}
+	if _, err := b.BuildRing(3, 0, 1); err == nil {
+		t.Fatal("BuildRing accepted zero mux scale")
+	}
+	if _, err := b.BuildRing(3, 1, -1); err == nil {
+		t.Fatal("BuildRing accepted negative wire scale")
+	}
+}
+
+func TestBuilderDistinctDevices(t *testing.T) {
+	die, _ := silicon.NewDie(silicon.DefaultParams(), 8, 8, rngx.New(12))
+	b := NewBuilder(die)
+	r1, err := b.BuildRing(3, DefaultMuxScale, DefaultWireScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.BuildRing(3, DefaultMuxScale, DefaultWireScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two rings built from one die must not share inverter positions.
+	pos := map[[2]int]bool{}
+	for _, u := range r1.Units {
+		pos[[2]int{u.Inverter.X, u.Inverter.Y}] = true
+	}
+	for _, u := range r2.Units {
+		if pos[[2]int{u.Inverter.X, u.Inverter.Y}] {
+			t.Fatal("rings share an inverter device")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteVerilog emits a synthesizable Verilog-2001 module implementing the
+// paper's Fig. 1 architecture: an enable NAND closing the loop through n
+// delay units, each an inverter plus a 2-to-1 bypass MUX driven by one bit
+// of the configuration vector. The structure matches what the paper maps
+// onto Xilinx CLBs; `(* keep *)`/`dont_touch` attributes stop synthesis
+// from collapsing the combinational loop.
+//
+// Ports:
+//
+//	enable  — gates oscillation (loop breaks when low)
+//	cfg     — n-bit configuration vector (cfg[i] selects stage i's inverter)
+//	ro_out  — ring output (feed a counter for frequency measurement)
+func WriteVerilog(w io.Writer, moduleName string, stages int) error {
+	if stages <= 0 {
+		return fmt.Errorf("circuit: verilog module needs at least one stage, got %d", stages)
+	}
+	if moduleName == "" {
+		return fmt.Errorf("circuit: verilog module needs a name")
+	}
+	p := func(format string, args ...any) {
+		fmt.Fprintf(w, format, args...)
+	}
+	p("// Configurable ring oscillator (Gao/Lai/Qu, DAC 2014, Fig. 1).\n")
+	p("// %d delay units: inverter + 2-to-1 bypass MUX per stage.\n", stages)
+	p("// cfg[i] = 1 routes stage i through its inverter; 0 bypasses it.\n")
+	p("module %s (\n", moduleName)
+	p("    input  wire             enable,\n")
+	p("    input  wire [%d:0]      cfg,\n", stages-1)
+	p("    output wire             ro_out\n")
+	p(");\n\n")
+	p("    // Stage nets: net[0] is the enable gate output, net[i] the\n")
+	p("    // output of delay unit i-1's MUX.\n")
+	p("    (* keep = \"true\", dont_touch = \"true\" *)\n")
+	p("    wire [%d:0] net;\n\n", stages)
+	p("    // Enable NAND closes the loop and supplies the odd inversion.\n")
+	p("    (* keep = \"true\", dont_touch = \"true\" *)\n")
+	p("    nand u_enable (net[0], enable, net[%d]);\n\n", stages)
+	for i := 0; i < stages; i++ {
+		p("    // Delay unit %d.\n", i)
+		p("    (* keep = \"true\", dont_touch = \"true\" *)\n")
+		p("    wire inv_%d;\n", i)
+		p("    not  u_inv_%d (inv_%d, net[%d]);\n", i, i, i)
+		p("    assign net[%d] = cfg[%d] ? inv_%d : net[%d];\n\n", i+1, i, i, i)
+	}
+	p("    assign ro_out = net[%d];\n\n", stages)
+	p("endmodule\n")
+	return nil
+}
+
+// WriteVerilogPair emits a PUF-pair module: two independent configurable
+// rings plus ripple counters and a comparator latching the response bit —
+// the minimal deployable measurement structure around the pair.
+func WriteVerilogPair(w io.Writer, moduleName string, stages, counterBits int) error {
+	if stages <= 0 {
+		return fmt.Errorf("circuit: verilog pair needs at least one stage, got %d", stages)
+	}
+	if counterBits <= 0 || counterBits > 32 {
+		return fmt.Errorf("circuit: counter width %d outside [1,32]", counterBits)
+	}
+	if moduleName == "" {
+		return fmt.Errorf("circuit: verilog module needs a name")
+	}
+	ringName := moduleName + "_ring"
+	if err := WriteVerilog(w, ringName, stages); err != nil {
+		return err
+	}
+	p := func(format string, args ...any) {
+		fmt.Fprintf(w, format, args...)
+	}
+	p("\n// PUF pair: two configurable rings race; the response bit reports\n")
+	p("// which ring completed more cycles in the gate window.\n")
+	p("module %s (\n", moduleName)
+	p("    input  wire             clk,\n")
+	p("    input  wire             reset,\n")
+	p("    input  wire             gate,        // count while high\n")
+	p("    input  wire [%d:0]      cfg_top,\n", stages-1)
+	p("    input  wire [%d:0]      cfg_bottom,\n", stages-1)
+	p("    output reg              response,    // 1: top ring slower\n")
+	p("    output reg              valid\n")
+	p(");\n\n")
+	p("    wire osc_top, osc_bottom;\n")
+	p("    %s u_top    (.enable(gate), .cfg(cfg_top),    .ro_out(osc_top));\n", ringName)
+	p("    %s u_bottom (.enable(gate), .cfg(cfg_bottom), .ro_out(osc_bottom));\n\n", ringName)
+	p("    reg [%d:0] cnt_top, cnt_bottom;\n", counterBits-1)
+	p("    always @(posedge osc_top or posedge reset)\n")
+	p("        if (reset) cnt_top <= 0; else if (gate) cnt_top <= cnt_top + 1;\n")
+	p("    always @(posedge osc_bottom or posedge reset)\n")
+	p("        if (reset) cnt_bottom <= 0; else if (gate) cnt_bottom <= cnt_bottom + 1;\n\n")
+	p("    // Latch the comparison when the gate closes (synchronized to clk).\n")
+	p("    reg gate_d;\n")
+	p("    always @(posedge clk) begin\n")
+	p("        gate_d <= gate;\n")
+	p("        if (reset) begin\n")
+	p("            response <= 1'b0;\n")
+	p("            valid    <= 1'b0;\n")
+	p("        end else if (gate_d && !gate) begin\n")
+	p("            // Fewer cycles counted = slower ring.\n")
+	p("            response <= (cnt_top < cnt_bottom);\n")
+	p("            valid    <= 1'b1;\n")
+	p("        end\n")
+	p("    end\n\n")
+	p("endmodule\n")
+	return nil
+}

@@ -1,0 +1,100 @@
+package circuit
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWriteVerilogStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, "cro5", 5); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module cro5 (",
+		"input  wire [4:0]      cfg",
+		"nand u_enable (net[0], enable, net[5]);",
+		"assign ro_out = net[5];",
+		"endmodule",
+		`dont_touch = "true"`,
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("emitted Verilog missing %q", want)
+		}
+	}
+	// One inverter and one bypass MUX per stage.
+	for i := 0; i < 5; i++ {
+		if !strings.Contains(v, fmt.Sprintf("not  u_inv_%d (inv_%d, net[%d]);", i, i, i)) {
+			t.Errorf("stage %d inverter missing", i)
+		}
+		if !strings.Contains(v, fmt.Sprintf("assign net[%d] = cfg[%d] ? inv_%d : net[%d];", i+1, i, i, i)) {
+			t.Errorf("stage %d bypass MUX missing", i)
+		}
+	}
+	// Exactly 5 stages: no stage 5 artifacts.
+	if strings.Contains(v, "u_inv_5") {
+		t.Error("extra stage emitted")
+	}
+}
+
+func TestWriteVerilogBalancedModules(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVerilogPair(&buf, "puf_pair", 7, 16); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	if got := strings.Count(v, "module "); got != 2 {
+		t.Fatalf("emitted %d modules, want 2 (ring + pair)", got)
+	}
+	if got := strings.Count(v, "endmodule"); got != 2 {
+		t.Fatalf("emitted %d endmodules, want 2", got)
+	}
+	for _, want := range []string{
+		"module puf_pair_ring (",
+		"module puf_pair (",
+		"puf_pair_ring u_top",
+		"puf_pair_ring u_bottom",
+		"reg [15:0] cnt_top, cnt_bottom;",
+		"response <= (cnt_top < cnt_bottom);",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("pair Verilog missing %q", want)
+		}
+	}
+}
+
+func TestWriteVerilogValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, "x", 0); err == nil {
+		t.Error("zero stages accepted")
+	}
+	if err := WriteVerilog(&buf, "", 3); err == nil {
+		t.Error("empty module name accepted")
+	}
+	if err := WriteVerilogPair(&buf, "x", 3, 0); err == nil {
+		t.Error("zero counter width accepted")
+	}
+	if err := WriteVerilogPair(&buf, "x", 3, 64); err == nil {
+		t.Error("oversized counter accepted")
+	}
+	if err := WriteVerilogPair(&buf, "x", 0, 8); err == nil {
+		t.Error("zero stages accepted by pair writer")
+	}
+}
+
+func TestWriteVerilogSingleStage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, "cro1", 1); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	if !strings.Contains(v, "input  wire [0:0]      cfg") {
+		t.Error("single-stage cfg port wrong")
+	}
+	if !strings.Contains(v, "nand u_enable (net[0], enable, net[1]);") {
+		t.Error("single-stage loop closure wrong")
+	}
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"ropuf/internal/core"
+)
+
+// Measured per-stage delay differences of a 5-stage PUF pair (picoseconds).
+var (
+	exAlpha = []float64{203.1, 198.4, 201.7, 199.2, 200.9} // top ring
+	exBeta  = []float64{199.8, 200.2, 198.9, 202.5, 200.1} // bottom ring
+)
+
+func ExampleSelectCase1() {
+	sel, err := core.SelectCase1(exAlpha, exBeta, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("config=%s margin=%.1f bit=%v\n", sel.X, sel.Margin, sel.Bit)
+	// Output:
+	// config=10101 margin=6.9 bit=true
+}
+
+func ExampleSelectCase2() {
+	sel, err := core.SelectCase2(exAlpha, exBeta, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top=%s bottom=%s equal-count=%v margin=%.1f\n",
+		sel.X, sel.Y, sel.X.Ones() == sel.Y.Ones(), sel.Margin)
+	// Output:
+	// top=10101 bottom=10101 equal-count=true margin=6.9
+}
+
+func ExampleEnroll() {
+	pairs := []core.Pair{
+		{Alpha: exAlpha, Beta: exBeta},
+		{Alpha: exBeta, Beta: exAlpha}, // a second pair, swapped for variety
+	}
+	enr, err := core.Enroll(pairs, core.Case1, 0, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("response=%s bits=%d\n", enr.Response, enr.NumBits())
+
+	// Runtime: re-measure and regenerate with the frozen configurations.
+	regen, err := enr.Evaluate(pairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flips, err := enr.BitFlips(regen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flips=%d\n", flips)
+	// Output:
+	// response=10 bits=2
+	// flips=0
+}

@@ -1,0 +1,174 @@
+package core
+
+// Invariance properties of the selection algorithms: transformations of the
+// delay vectors with predictable effects on margins and bits.
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ropuf/internal/rngx"
+)
+
+func TestCase1ShiftInvariance(t *testing.T) {
+	// Adding the same constant to every entry of BOTH vectors leaves every
+	// Δd — hence the Case-1 selection, margin and bit — unchanged.
+	check := func(seed uint64, shiftRaw int16) bool {
+		r := rngx.New(seed)
+		n := 2 + r.Intn(12)
+		alpha, beta := randVecs(r, n, 0)
+		shift := float64(shiftRaw) / 8
+		a2 := make([]float64, n)
+		b2 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a2[i] = alpha[i] + shift
+			b2[i] = beta[i] + shift
+		}
+		s1, err1 := SelectCase1(alpha, beta, Options{})
+		s2, err2 := SelectCase1(a2, b2, Options{})
+		if err1 != nil || err2 != nil {
+			return errors.Is(err1, ErrDegenerate) && errors.Is(err2, ErrDegenerate)
+		}
+		if s1.X.String() != s2.X.String() {
+			return false
+		}
+		return math.Abs(s1.Margin-s2.Margin) < 1e-6 && s1.Bit == s2.Bit
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleEquivariance(t *testing.T) {
+	// Multiplying both vectors by λ > 0 scales the margin by λ and keeps
+	// configurations and bits, for both cases.
+	check := func(seed uint64, lambdaSel uint8) bool {
+		r := rngx.New(seed)
+		n := 2 + r.Intn(10)
+		alpha, beta := randVecs(r, n, 0)
+		lambda := 0.25 + float64(lambdaSel%16)/4
+		a2 := make([]float64, n)
+		b2 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a2[i] = lambda * alpha[i]
+			b2[i] = lambda * beta[i]
+		}
+		for _, mode := range []Mode{Case1, Case2} {
+			s1, err1 := Select(mode, alpha, beta, Options{})
+			s2, err2 := Select(mode, a2, b2, Options{})
+			if err1 != nil || err2 != nil {
+				if errors.Is(err1, ErrDegenerate) && errors.Is(err2, ErrDegenerate) {
+					continue
+				}
+				return false
+			}
+			if s1.Bit != s2.Bit {
+				return false
+			}
+			if math.Abs(s2.Margin-lambda*s1.Margin) > 1e-6*(1+lambda*s1.Margin) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapAntisymmetry(t *testing.T) {
+	// Swapping the two rings flips the bit and preserves the margin.
+	check := func(seed uint64) bool {
+		r := rngx.New(seed)
+		n := 2 + r.Intn(10)
+		alpha, beta := randVecs(r, n, 0)
+		for _, mode := range []Mode{Case1, Case2} {
+			s1, err1 := Select(mode, alpha, beta, Options{})
+			s2, err2 := Select(mode, beta, alpha, Options{})
+			if err1 != nil || err2 != nil {
+				if errors.Is(err1, ErrDegenerate) && errors.Is(err2, ErrDegenerate) {
+					continue
+				}
+				return false
+			}
+			if math.Abs(s1.Margin-s2.Margin) > 1e-9 {
+				return false
+			}
+			// Ties (margin 0) have no well-defined bit; skip those.
+			if s1.Margin > 1e-9 && s1.Bit == s2.Bit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCase2StagePermutationInvariance(t *testing.T) {
+	// Case-2 ignores stage positions entirely (it sorts), so independently
+	// permuting each ring's stages preserves the margin and bit.
+	check := func(seedVec, seedPerm uint64) bool {
+		r := rngx.New(seedVec)
+		n := 2 + r.Intn(10)
+		alpha, beta := randVecs(r, n, 0)
+		pr := rngx.New(seedPerm)
+		pa := pr.Perm(n)
+		pb := pr.Perm(n)
+		a2 := make([]float64, n)
+		b2 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a2[i] = alpha[pa[i]]
+			b2[i] = beta[pb[i]]
+		}
+		s1, err1 := SelectCase2(alpha, beta, Options{})
+		s2, err2 := SelectCase2(a2, b2, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(s1.Margin-s2.Margin) < 1e-9 &&
+			(s1.Margin < 1e-9 || s1.Bit == s2.Bit)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCase1JointPermutationInvariance(t *testing.T) {
+	// Case-1 compares stages positionally, so only a JOINT permutation
+	// (same reordering of both rings) preserves the outcome.
+	check := func(seedVec, seedPerm uint64) bool {
+		r := rngx.New(seedVec)
+		n := 2 + r.Intn(12)
+		alpha, beta := randVecs(r, n, 0)
+		p := rngx.New(seedPerm).Perm(n)
+		a2 := make([]float64, n)
+		b2 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a2[i] = alpha[p[i]]
+			b2[i] = beta[p[i]]
+		}
+		s1, err1 := SelectCase1(alpha, beta, Options{})
+		s2, err2 := SelectCase1(a2, b2, Options{})
+		if err1 != nil || err2 != nil {
+			return errors.Is(err1, ErrDegenerate) && errors.Is(err2, ErrDegenerate)
+		}
+		if math.Abs(s1.Margin-s2.Margin) > 1e-9 || s1.Bit != s2.Bit {
+			return false
+		}
+		// The permuted configuration must be the permutation of the
+		// original configuration.
+		for i := 0; i < n; i++ {
+			if s2.X[i] != s1.X[p[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"ropuf/internal/rngx"
+)
+
+// devicePairs fabricates per-pair delay vectors for an imaginary device.
+func devicePairs(seed uint64, numPairs, n int) []Pair {
+	r := rngx.New(seed)
+	pairs := make([]Pair, numPairs)
+	for p := range pairs {
+		alpha := make([]float64, n)
+		beta := make([]float64, n)
+		for i := 0; i < n; i++ {
+			alpha[i] = 200 + 4*r.Norm()
+			beta[i] = 200 + 4*r.Norm()
+		}
+		pairs[p] = Pair{Alpha: alpha, Beta: beta}
+	}
+	return pairs
+}
+
+func TestEnrollBasic(t *testing.T) {
+	pairs := devicePairs(1, 32, 5)
+	for _, mode := range []Mode{Case1, Case2} {
+		e, err := Enroll(pairs, mode, 0, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if e.NumBits() != 32 {
+			t.Fatalf("%v: NumBits = %d, want 32", mode, e.NumBits())
+		}
+		if len(e.Selections) != 32 || len(e.Mask) != 32 {
+			t.Fatalf("%v: bookkeeping lengths wrong", mode)
+		}
+		for i, m := range e.Mask {
+			if !m {
+				t.Fatalf("%v: pair %d masked at threshold 0", mode, i)
+			}
+		}
+	}
+}
+
+func TestEnrollThresholdMonotone(t *testing.T) {
+	pairs := devicePairs(2, 64, 7)
+	prev := 65
+	for _, thr := range []float64{0, 5, 10, 20, 40} {
+		e, err := Enroll(pairs, Case1, thr, Options{})
+		if err != nil {
+			// Very high thresholds may mask everything; that ends the sweep.
+			break
+		}
+		if e.NumBits() > prev {
+			t.Fatalf("threshold %g: bits increased from %d to %d", thr, prev, e.NumBits())
+		}
+		prev = e.NumBits()
+	}
+}
+
+func TestEnrollEvaluateSameDataIsExact(t *testing.T) {
+	pairs := devicePairs(3, 16, 5)
+	for _, mode := range []Mode{Case1, Case2} {
+		e, err := Enroll(pairs, mode, 0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		regen, err := e.Evaluate(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flips, err := e.BitFlips(regen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flips != 0 {
+			t.Fatalf("%v: %d flips on identical data", mode, flips)
+		}
+	}
+}
+
+func TestEnrollEvaluatePerturbedData(t *testing.T) {
+	pairs := devicePairs(4, 64, 5)
+	e, err := Enroll(pairs, Case2, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb delays slightly: margin-maximized bits should survive small
+	// perturbations far more often than not.
+	r := rngx.New(99)
+	perturbed := make([]Pair, len(pairs))
+	for i, p := range pairs {
+		a := make([]float64, len(p.Alpha))
+		b := make([]float64, len(p.Beta))
+		for j := range a {
+			a[j] = p.Alpha[j] + 0.3*r.Norm()
+			b[j] = p.Beta[j] + 0.3*r.Norm()
+		}
+		perturbed[i] = Pair{Alpha: a, Beta: b}
+	}
+	regen, err := e.Evaluate(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips, err := e.BitFlips(regen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips > len(pairs)/8 {
+		t.Fatalf("too many flips under small perturbation: %d of %d", flips, len(pairs))
+	}
+}
+
+func TestEnrollMasksDegeneratePairs(t *testing.T) {
+	pairs := []Pair{
+		{Alpha: []float64{5, 5}, Beta: []float64{5, 5}}, // degenerate for Case-1
+		{Alpha: []float64{9, 5}, Beta: []float64{5, 5}}, // fine
+		{Alpha: []float64{5, 2}, Beta: []float64{5, 9}}, // fine
+	}
+	e, err := Enroll(pairs, Case1, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Mask[0] {
+		t.Fatal("degenerate pair not masked")
+	}
+	if e.NumBits() != 2 {
+		t.Fatalf("NumBits = %d, want 2", e.NumBits())
+	}
+	// Evaluate must skip the masked pair and match lengths.
+	regen, err := e.Evaluate(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regen.Len() != 2 {
+		t.Fatalf("regenerated length %d, want 2", regen.Len())
+	}
+}
+
+func TestEnrollValidation(t *testing.T) {
+	if _, err := Enroll(nil, Case1, 0, Options{}); err == nil {
+		t.Fatal("Enroll accepted empty pair list")
+	}
+	if _, err := Enroll(devicePairs(5, 4, 3), Case1, -1, Options{}); err == nil {
+		t.Fatal("Enroll accepted negative threshold")
+	}
+	if _, err := Enroll(devicePairs(6, 4, 3), Mode(7), 0, Options{}); err == nil {
+		t.Fatal("Enroll accepted unknown mode")
+	}
+	// Threshold so high that nothing passes.
+	if _, err := Enroll(devicePairs(7, 4, 3), Case1, 1e12, Options{}); err == nil {
+		t.Fatal("Enroll produced bits with impossible threshold")
+	}
+}
+
+func TestEvaluatePairCountMismatch(t *testing.T) {
+	pairs := devicePairs(8, 8, 3)
+	e, err := Enroll(pairs, Case1, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(pairs[:4]); err == nil {
+		t.Fatal("Evaluate accepted wrong pair count")
+	}
+}
+
+func TestMaskedEnrollmentKeepsMarginOrdering(t *testing.T) {
+	// Every kept pair's margin must meet the threshold; every masked,
+	// non-degenerate pair's margin must be below it.
+	pairs := devicePairs(9, 64, 5)
+	const thr = 8.0
+	e, err := Enroll(pairs, Case1, thr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sel := range e.Selections {
+		if sel.X == nil {
+			continue
+		}
+		if e.Mask[i] && sel.Margin < thr {
+			t.Fatalf("pair %d kept with margin %.2f < %.2f", i, sel.Margin, thr)
+		}
+		if !e.Mask[i] && sel.Margin >= thr {
+			t.Fatalf("pair %d masked with margin %.2f >= %.2f", i, sel.Margin, thr)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ropuf/internal/rngx"
+)
+
+// randVecs draws a pair of delay vectors. kind selects the regime:
+// 0 = positive delays with small spread (realistic ddiffs),
+// 1 = signed values (stress), 2 = values with ties.
+func randVecs(r *rngx.RNG, n, kind int) (alpha, beta []float64) {
+	alpha = make([]float64, n)
+	beta = make([]float64, n)
+	for i := 0; i < n; i++ {
+		switch kind {
+		case 0:
+			alpha[i] = 200 + 5*r.Norm()
+			beta[i] = 200 + 5*r.Norm()
+		case 1:
+			alpha[i] = 10 * r.Norm()
+			beta[i] = 10 * r.Norm()
+		default:
+			alpha[i] = float64(r.Intn(4))
+			beta[i] = float64(r.Intn(4))
+		}
+	}
+	return alpha, beta
+}
+
+func TestSelectCase1MatchesExhaustive(t *testing.T) {
+	r := rngx.New(1)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(11)
+		alpha, beta := randVecs(r, n, trial%2)
+		fast, errFast := SelectCase1(alpha, beta, Options{})
+		ref, errRef := ExhaustiveCase1(alpha, beta, Options{})
+		if errFast != nil || errRef != nil {
+			if errors.Is(errFast, ErrDegenerate) && errors.Is(errRef, ErrDegenerate) {
+				continue
+			}
+			t.Fatalf("trial %d: errors fast=%v ref=%v", trial, errFast, errRef)
+		}
+		if math.Abs(fast.Margin-ref.Margin) > 1e-9 {
+			t.Fatalf("trial %d (n=%d): fast margin %.9f != exhaustive %.9f\nα=%v\nβ=%v",
+				trial, n, fast.Margin, ref.Margin, alpha, beta)
+		}
+	}
+}
+
+func TestSelectCase1OddMatchesExhaustive(t *testing.T) {
+	r := rngx.New(2)
+	opt := Options{RequireOddStages: true}
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(9)
+		alpha, beta := randVecs(r, n, trial%2)
+		fast, errFast := SelectCase1(alpha, beta, opt)
+		ref, errRef := ExhaustiveCase1(alpha, beta, opt)
+		if errFast != nil || errRef != nil {
+			if errors.Is(errFast, ErrDegenerate) && errors.Is(errRef, ErrDegenerate) {
+				continue
+			}
+			t.Fatalf("trial %d: errors fast=%v ref=%v", trial, errFast, errRef)
+		}
+		if fast.X.Ones()%2 != 1 {
+			t.Fatalf("trial %d: odd constraint violated, %d stages selected", trial, fast.X.Ones())
+		}
+		if math.Abs(fast.Margin-ref.Margin) > 1e-9 {
+			t.Fatalf("trial %d (n=%d): odd fast margin %.9f != exhaustive %.9f\nα=%v\nβ=%v",
+				trial, n, fast.Margin, ref.Margin, alpha, beta)
+		}
+	}
+}
+
+func TestSelectCase2MatchesExhaustive(t *testing.T) {
+	r := rngx.New(3)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(7)
+		alpha, beta := randVecs(r, n, trial%2)
+		fast, errFast := SelectCase2(alpha, beta, Options{})
+		ref, errRef := ExhaustiveCase2(alpha, beta, Options{})
+		if errFast != nil || errRef != nil {
+			t.Fatalf("trial %d: errors fast=%v ref=%v", trial, errFast, errRef)
+		}
+		if math.Abs(fast.Margin-ref.Margin) > 1e-9 {
+			t.Fatalf("trial %d (n=%d): fast margin %.9f != exhaustive %.9f\nα=%v\nβ=%v",
+				trial, n, fast.Margin, ref.Margin, alpha, beta)
+		}
+	}
+}
+
+func TestSelectCase2OddMatchesExhaustive(t *testing.T) {
+	r := rngx.New(4)
+	opt := Options{RequireOddStages: true}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(7)
+		alpha, beta := randVecs(r, n, trial%2)
+		fast, errFast := SelectCase2(alpha, beta, opt)
+		ref, errRef := ExhaustiveCase2(alpha, beta, opt)
+		if errFast != nil || errRef != nil {
+			t.Fatalf("trial %d: errors fast=%v ref=%v", trial, errFast, errRef)
+		}
+		if fast.X.Ones()%2 != 1 {
+			t.Fatalf("trial %d: odd constraint violated", trial)
+		}
+		if math.Abs(fast.Margin-ref.Margin) > 1e-9 {
+			t.Fatalf("trial %d (n=%d): odd fast margin %.9f != exhaustive %.9f\nα=%v\nβ=%v",
+				trial, n, fast.Margin, ref.Margin, alpha, beta)
+		}
+	}
+}
+
+func TestCase2EqualCountInvariant(t *testing.T) {
+	r := rngx.New(5)
+	check := func(seed uint64) bool {
+		rr := rngx.New(seed)
+		n := 2 + rr.Intn(20)
+		alpha, beta := randVecs(rr, n, int(seed%3))
+		sel, err := SelectCase2(alpha, beta, Options{})
+		if err != nil {
+			return false
+		}
+		return sel.X.Ones() == sel.Y.Ones() && sel.X.Ones() >= 1
+	}
+	_ = r
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCase1SharedConfigInvariant(t *testing.T) {
+	check := func(seed uint64) bool {
+		rr := rngx.New(seed)
+		n := 2 + rr.Intn(20)
+		alpha, beta := randVecs(rr, n, 0)
+		sel, err := SelectCase1(alpha, beta, Options{})
+		if err != nil {
+			return errors.Is(err, ErrDegenerate)
+		}
+		if len(sel.X) != len(sel.Y) {
+			return false
+		}
+		for i := range sel.X {
+			if sel.X[i] != sel.Y[i] {
+				return false
+			}
+		}
+		return sel.X.Ones() >= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCase1MarginBeatsTraditional(t *testing.T) {
+	// Selecting all stages (the traditional PUF) can never beat the
+	// optimal Case-1 subset.
+	check := func(seed uint64) bool {
+		rr := rngx.New(seed)
+		n := 2 + rr.Intn(16)
+		alpha, beta := randVecs(rr, n, 0)
+		sel, err := SelectCase1(alpha, beta, Options{})
+		if err != nil {
+			return errors.Is(err, ErrDegenerate)
+		}
+		var full float64
+		for i := range alpha {
+			full += alpha[i] - beta[i]
+		}
+		return sel.Margin >= math.Abs(full)-1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCase2MarginAtLeastCase1(t *testing.T) {
+	// Case-2's feasible set contains every Case-1 solution, so its optimal
+	// margin must be at least Case-1's.
+	check := func(seed uint64) bool {
+		rr := rngx.New(seed)
+		n := 2 + rr.Intn(10)
+		alpha, beta := randVecs(rr, n, 0)
+		c1, err1 := SelectCase1(alpha, beta, Options{})
+		c2, err2 := SelectCase2(alpha, beta, Options{})
+		if err1 != nil {
+			return errors.Is(err1, ErrDegenerate)
+		}
+		if err2 != nil {
+			return false
+		}
+		return c2.Margin >= c1.Margin-1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectionEvaluateConsistency(t *testing.T) {
+	check := func(seed uint64) bool {
+		rr := rngx.New(seed)
+		n := 2 + rr.Intn(12)
+		alpha, beta := randVecs(rr, n, 0)
+		for _, mode := range []Mode{Case1, Case2} {
+			sel, err := Select(mode, alpha, beta, Options{})
+			if err != nil {
+				if errors.Is(err, ErrDegenerate) {
+					continue
+				}
+				return false
+			}
+			bit, margin, err := sel.Evaluate(alpha, beta)
+			if err != nil {
+				return false
+			}
+			if bit != sel.Bit || math.Abs(margin-sel.Margin) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectCase1KnownExample(t *testing.T) {
+	// Δd = α−β = [+3, −1, +2, −5]: Δ+ = 5, Δ− = −6, so the negative class
+	// wins: select stages 1 and 3, margin 6, bottom... top is faster on the
+	// selected stages, so the bit (top slower) is false.
+	alpha := []float64{10, 9, 12, 5}
+	beta := []float64{7, 10, 10, 10}
+	sel, err := SelectCase1(alpha, beta, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.X.String() != "0101" {
+		t.Fatalf("config = %s, want 0101", sel.X)
+	}
+	if sel.Margin != 6 {
+		t.Fatalf("margin = %g, want 6", sel.Margin)
+	}
+	if sel.Bit {
+		t.Fatal("bit should be false (top faster)")
+	}
+}
+
+func TestSelectCase2KnownExample(t *testing.T) {
+	// α = [10, 1], β = [5, 5]: best is top's 10 vs bottom's 5 → margin 5,
+	// one stage each, top slower.
+	alpha := []float64{10, 1}
+	beta := []float64{5, 5}
+	sel, err := SelectCase2(alpha, beta, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Margin != 5 {
+		t.Fatalf("margin = %g, want 5", sel.Margin)
+	}
+	if sel.X.Ones() != 1 || sel.Y.Ones() != 1 {
+		t.Fatalf("expected single-stage selection, got %s / %s", sel.X, sel.Y)
+	}
+	if !sel.X[0] {
+		t.Fatal("top ring should select stage 0 (delay 10)")
+	}
+	if !sel.Bit {
+		t.Fatal("bit should be true (top slower)")
+	}
+}
+
+func TestSelectDegenerate(t *testing.T) {
+	alpha := []float64{5, 5}
+	beta := []float64{5, 5}
+	if _, err := SelectCase1(alpha, beta, Options{}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("want ErrDegenerate, got %v", err)
+	}
+	// Case-2 is never degenerate with equal vectors: margin 0 single pair.
+	sel, err := SelectCase2(alpha, beta, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Margin != 0 {
+		t.Fatalf("Case-2 margin = %g, want 0", sel.Margin)
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	if _, err := SelectCase1([]float64{1}, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("SelectCase1 accepted mismatched lengths")
+	}
+	if _, err := SelectCase2([]float64{1}, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("SelectCase2 accepted mismatched lengths")
+	}
+	if _, err := SelectCase1(nil, nil, Options{}); err == nil {
+		t.Fatal("SelectCase1 accepted empty vectors")
+	}
+	if _, err := SelectCase2(nil, nil, Options{}); err == nil {
+		t.Fatal("SelectCase2 accepted empty vectors")
+	}
+	if _, err := Select(Mode(0), []float64{1}, []float64{1}, Options{}); err == nil {
+		t.Fatal("Select accepted unknown mode")
+	}
+	if _, err := ExhaustiveCase1(make([]float64, 30), make([]float64, 30), Options{}); err == nil {
+		t.Fatal("ExhaustiveCase1 accepted oversized input")
+	}
+	if _, err := ExhaustiveCase2(make([]float64, 16), make([]float64, 16), Options{}); err == nil {
+		t.Fatal("ExhaustiveCase2 accepted oversized input")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	sel, err := SelectCase1([]float64{3, 1}, []float64{1, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sel.Evaluate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("Evaluate accepted mismatched lengths")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Case1.String() != "Case-1" || Case2.String() != "Case-2" {
+		t.Fatal("Mode.String wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Fatalf("unknown mode string = %s", Mode(9))
+	}
+}
+
+func TestSelectRejectsNonFiniteInputs(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := [][2][]float64{
+		{{nan, 1}, {1, 2}},
+		{{1, 2}, {inf, 1}},
+		{{1, math.Inf(-1)}, {1, 2}},
+	}
+	for i, c := range cases {
+		if _, err := SelectCase1(c[0], c[1], Options{}); err == nil {
+			t.Errorf("case %d: SelectCase1 accepted non-finite input", i)
+		}
+		if _, err := SelectCase2(c[0], c[1], Options{}); err == nil {
+			t.Errorf("case %d: SelectCase2 accepted non-finite input", i)
+		}
+	}
+}

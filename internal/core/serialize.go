@@ -1,0 +1,135 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/circuit"
+)
+
+// Enrollment persistence: a deployed verifier stores each device's
+// configurations, mask and reference bits (the margins are kept too — they
+// are enrollment-time diagnostics, not secrets usable without the silicon).
+// The format is JSON with bit vectors as '0'/'1' strings, versioned for
+// forward compatibility.
+
+// enrollmentJSON is the on-disk representation.
+type enrollmentJSON struct {
+	Version    int             `json:"version"`
+	Mode       int             `json:"mode"`
+	Threshold  float64         `json:"threshold"`
+	Selections []selectionJSON `json:"selections"`
+	Mask       []bool          `json:"mask"`
+	Response   string          `json:"response"`
+}
+
+type selectionJSON struct {
+	X      string  `json:"x"`
+	Y      string  `json:"y"`
+	Margin float64 `json:"margin"`
+	Bit    bool    `json:"bit"`
+}
+
+// serializationVersion identifies the current on-disk format.
+const serializationVersion = 1
+
+// Save writes the enrollment to w as JSON.
+func (e *Enrollment) Save(w io.Writer) error {
+	out := enrollmentJSON{
+		Version:   serializationVersion,
+		Mode:      int(e.Mode),
+		Threshold: e.Threshold,
+		Mask:      e.Mask,
+		Response:  e.Response.String(),
+	}
+	for _, sel := range e.Selections {
+		out.Selections = append(out.Selections, selectionJSON{
+			X:      circuit.Config(sel.X).String(),
+			Y:      circuit.Config(sel.Y).String(),
+			Margin: sel.Margin,
+			Bit:    sel.Bit,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadEnrollment reads an enrollment previously written by Save and
+// validates its internal consistency (mask vs response length, config
+// lengths, version).
+func LoadEnrollment(r io.Reader) (*Enrollment, error) {
+	var in enrollmentJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding enrollment: %w", err)
+	}
+	if in.Version != serializationVersion {
+		return nil, fmt.Errorf("core: unsupported enrollment version %d", in.Version)
+	}
+	mode := Mode(in.Mode)
+	if mode != Case1 && mode != Case2 {
+		return nil, fmt.Errorf("core: invalid mode %d", in.Mode)
+	}
+	if in.Threshold < 0 {
+		return nil, fmt.Errorf("core: negative threshold %g", in.Threshold)
+	}
+	if len(in.Mask) != len(in.Selections) {
+		return nil, fmt.Errorf("core: mask length %d != selections %d", len(in.Mask), len(in.Selections))
+	}
+	resp, err := bits.FromString(in.Response)
+	if err != nil {
+		return nil, fmt.Errorf("core: response bits: %w", err)
+	}
+	e := &Enrollment{
+		Mode:      mode,
+		Threshold: in.Threshold,
+		Mask:      in.Mask,
+		Response:  resp,
+	}
+	kept := 0
+	for i, sj := range in.Selections {
+		var sel Selection
+		if sj.X != "" {
+			x, err := circuit.ParseConfig(sj.X)
+			if err != nil {
+				return nil, fmt.Errorf("core: selection %d x: %w", i, err)
+			}
+			y, err := circuit.ParseConfig(sj.Y)
+			if err != nil {
+				return nil, fmt.Errorf("core: selection %d y: %w", i, err)
+			}
+			if len(x) != len(y) {
+				return nil, fmt.Errorf("core: selection %d config lengths differ (%d vs %d)", i, len(x), len(y))
+			}
+			sel = Selection{X: x, Y: y, Margin: sj.Margin, Bit: sj.Bit}
+		} else if in.Mask[i] {
+			return nil, fmt.Errorf("core: selection %d kept by mask but has no configuration", i)
+		}
+		e.Selections = append(e.Selections, sel)
+		if in.Mask[i] {
+			kept++
+		}
+	}
+	if kept != resp.Len() {
+		return nil, fmt.Errorf("core: mask keeps %d pairs but response has %d bits", kept, resp.Len())
+	}
+	if resp.Len() == 0 {
+		return nil, errors.New("core: enrollment has no bits")
+	}
+	// Reference bits must match the stored selections' bits.
+	bi := 0
+	for i, sel := range e.Selections {
+		if !e.Mask[i] {
+			continue
+		}
+		if resp.Bit(bi) != sel.Bit {
+			return nil, fmt.Errorf("core: response bit %d inconsistent with selection %d", bi, i)
+		}
+		bi++
+	}
+	return e, nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEnrollmentSaveLoadRoundtrip(t *testing.T) {
+	pairs := devicePairs(42, 32, 7)
+	for _, mode := range []Mode{Case1, Case2} {
+		orig, err := Enroll(pairs, mode, 2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadEnrollment(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Mode != orig.Mode || loaded.Threshold != orig.Threshold {
+			t.Fatalf("%v: metadata changed in roundtrip", mode)
+		}
+		if !loaded.Response.Equal(orig.Response) {
+			t.Fatalf("%v: response changed in roundtrip", mode)
+		}
+		if len(loaded.Selections) != len(orig.Selections) {
+			t.Fatalf("%v: selection count changed", mode)
+		}
+		// The loaded enrollment must evaluate identically.
+		a, err := orig.Evaluate(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Evaluate(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("%v: loaded enrollment evaluates differently", mode)
+		}
+	}
+}
+
+func TestEnrollmentRoundtripWithDegeneratePair(t *testing.T) {
+	pairs := []Pair{
+		{Alpha: []float64{5, 5}, Beta: []float64{5, 5}}, // degenerate
+		{Alpha: []float64{9, 5}, Beta: []float64{5, 5}},
+	}
+	orig, err := Enroll(pairs, Case1, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEnrollment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Mask[0] {
+		t.Fatal("degenerate pair mask lost in roundtrip")
+	}
+	regen, err := loaded.Evaluate(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regen.Equal(orig.Response) {
+		t.Fatal("loaded enrollment with masked pair evaluates differently")
+	}
+}
+
+func TestLoadEnrollmentRejectsCorruption(t *testing.T) {
+	pairs := devicePairs(43, 8, 5)
+	orig, err := Enroll(pairs, Case2, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	corruptions := []struct {
+		name string
+		mod  func(string) string
+	}{
+		{"not json", func(s string) string { return "{nope" }},
+		{"bad version", func(s string) string { return strings.Replace(s, `"version": 1`, `"version": 99`, 1) }},
+		{"bad mode", func(s string) string { return strings.Replace(s, `"mode": 2`, `"mode": 7`, 1) }},
+		{"bad response chars", func(s string) string {
+			return strings.Replace(s, `"response": "`, `"response": "x`, 1)
+		}},
+		{"flipped response bit", func(s string) string {
+			i := strings.Index(s, `"response": "`)
+			j := i + len(`"response": "`)
+			var flipped byte = '1'
+			if s[j] == '1' {
+				flipped = '0'
+			}
+			return s[:j] + string(flipped) + s[j+1:]
+		}},
+	}
+	for _, c := range corruptions {
+		if _, err := LoadEnrollment(strings.NewReader(c.mod(good))); err == nil {
+			t.Errorf("%s: corruption accepted", c.name)
+		}
+	}
+}
+
+func TestLoadEnrollmentRejectsInconsistentMask(t *testing.T) {
+	in := `{
+	  "version": 1, "mode": 1, "threshold": 0,
+	  "selections": [{"x": "101", "y": "101", "margin": 3, "bit": true}],
+	  "mask": [true, true],
+	  "response": "11"
+	}`
+	if _, err := LoadEnrollment(strings.NewReader(in)); err == nil {
+		t.Fatal("mask/selection length mismatch accepted")
+	}
+	in2 := `{
+	  "version": 1, "mode": 1, "threshold": 0,
+	  "selections": [{"x": "101", "y": "10", "margin": 3, "bit": true}],
+	  "mask": [true],
+	  "response": "1"
+	}`
+	if _, err := LoadEnrollment(strings.NewReader(in2)); err == nil {
+		t.Fatal("x/y config length mismatch accepted")
+	}
+}

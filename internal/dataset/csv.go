@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CSV layout: one row per (board, condition, RO) measurement with header
+//
+//	board,ro,x,y,millivolts,decicelsius,freq_mhz
+//
+// Rows are written board-major, condition-major, RO-minor, so files diff
+// cleanly across generator versions.
+
+var csvHeader = []string{"board", "ro", "x", "y", "millivolts", "decicelsius", "freq_mhz"}
+
+// WriteCSV serializes the dataset.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	for _, b := range ds.Boards {
+		for _, cond := range b.Conditions() {
+			freqs := b.Freq[cond]
+			for i, f := range freqs {
+				rec := []string{
+					strconv.Itoa(b.ID),
+					strconv.Itoa(i),
+					strconv.Itoa(b.X[i]),
+					strconv.Itoa(b.Y[i]),
+					strconv.Itoa(cond.MilliVolts),
+					strconv.Itoa(cond.DeciCelsius),
+					strconv.FormatFloat(f, 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return fmt.Errorf("dataset: write board %d: %w", b.ID, err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. Environment boards are
+// inferred: any board measured under more than one condition is recorded in
+// EnvIDs.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if head[i] != h {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, head[i], h)
+		}
+	}
+	type roKey struct {
+		board int
+		ro    int
+	}
+	boards := map[int]*Board{}
+	positions := map[roKey][2]int{}
+	counts := map[int]int{} // max ro index +1 per board
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		ints := make([]int, 6)
+		for i := 0; i < 6; i++ {
+			v, err := strconv.Atoi(rec[i])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %s: %w", line, csvHeader[i], err)
+			}
+			ints[i] = v
+		}
+		freq, err := strconv.ParseFloat(rec[6], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d freq: %w", line, err)
+		}
+		id, ro, x, y := ints[0], ints[1], ints[2], ints[3]
+		cond := Condition{MilliVolts: ints[4], DeciCelsius: ints[5]}
+		b := boards[id]
+		if b == nil {
+			b = &Board{ID: id, Freq: map[Condition][]float64{}}
+			boards[id] = b
+		}
+		if ro+1 > counts[id] {
+			counts[id] = ro + 1
+		}
+		positions[roKey{id, ro}] = [2]int{x, y}
+		f := b.Freq[cond]
+		for len(f) <= ro {
+			f = append(f, 0)
+		}
+		f[ro] = freq
+		b.Freq[cond] = f
+	}
+	ds := &Dataset{Name: "csv"}
+	ids := make([]int, 0, len(boards))
+	for id := range boards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		b := boards[id]
+		n := counts[id]
+		b.X = make([]int, n)
+		b.Y = make([]int, n)
+		maxX, maxY := 0, 0
+		for i := 0; i < n; i++ {
+			p, ok := positions[roKey{id, i}]
+			if !ok {
+				return nil, fmt.Errorf("dataset: board %d RO %d has no measurements", id, i)
+			}
+			b.X[i], b.Y[i] = p[0], p[1]
+			if p[0] > maxX {
+				maxX = p[0]
+			}
+			if p[1] > maxY {
+				maxY = p[1]
+			}
+		}
+		b.GridW, b.GridH = maxX+1, maxY+1
+		for cond, f := range b.Freq {
+			if len(f) != n {
+				return nil, fmt.Errorf("dataset: board %d condition %v has %d ROs, want %d", id, cond, len(f), n)
+			}
+		}
+		ds.Boards = append(ds.Boards, b)
+		if len(b.Freq) > 1 {
+			ds.EnvIDs = append(ds.EnvIDs, id)
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"fmt"
+
+	"ropuf/internal/circuit"
+	"ropuf/internal/core"
+	"ropuf/internal/measure"
+	"ropuf/internal/rngx"
+	"ropuf/internal/silicon"
+)
+
+// InHouseConfig parameterizes the in-house (inverter-granularity) dataset:
+// the synthetic stand-in for the paper's 9 Virtex-5 LX ML501 boards with
+// 1024 inverters each, organized as 64 rings of up to 13 stages.
+type InHouseConfig struct {
+	NumBoards     int
+	RingsPerBoard int
+	StagesPerRing int
+	// Process parameterizes the Virtex-5-class inverter model.
+	Process silicon.Params
+	// MuxScale / WireScale set the MUX path-1 / path-0 delay relative to an
+	// inverter.
+	MuxScale, WireScale float64
+	// MeterNoisePS and MeterRepeats configure the delay-measurement
+	// protocol's timing noise.
+	MeterNoisePS float64
+	MeterRepeats int
+	Seed         uint64
+}
+
+// DefaultInHouseConfig mirrors the paper's §IV.E setup: 9 boards × 64 rings
+// × 13 stages on a 65 nm-class process (~120 ps inverter delay).
+func DefaultInHouseConfig() InHouseConfig {
+	p := silicon.DefaultParams()
+	p.NominalDelayPS = 120
+	p.SystematicAmp = 0.03
+	p.RandomSigma = 0.015
+	p.VthSigma = 0.008
+	return InHouseConfig{
+		NumBoards:     9,
+		RingsPerBoard: 64,
+		StagesPerRing: 13,
+		Process:       p,
+		MuxScale:      circuit.DefaultMuxScale,
+		WireScale:     circuit.DefaultWireScale,
+		MeterNoisePS:  0.5,
+		MeterRepeats:  5,
+		Seed:          0x494e484f555345, // "INHOUSE"
+	}
+}
+
+// Validate checks the configuration.
+func (c InHouseConfig) Validate() error {
+	switch {
+	case c.NumBoards <= 0:
+		return fmt.Errorf("dataset: NumBoards must be positive, got %d", c.NumBoards)
+	case c.RingsPerBoard < 2 || c.RingsPerBoard%2 != 0:
+		return fmt.Errorf("dataset: RingsPerBoard must be even and >= 2, got %d", c.RingsPerBoard)
+	case c.StagesPerRing <= 0:
+		return fmt.Errorf("dataset: StagesPerRing must be positive, got %d", c.StagesPerRing)
+	case c.MeterRepeats <= 0:
+		return fmt.Errorf("dataset: MeterRepeats must be positive, got %d", c.MeterRepeats)
+	case c.MeterNoisePS < 0:
+		return fmt.Errorf("dataset: MeterNoisePS must be non-negative, got %g", c.MeterNoisePS)
+	}
+	return c.Process.Validate()
+}
+
+// InHouseBoard is one inverter-granularity board: live circuit rings that
+// can be measured under any environment.
+type InHouseBoard struct {
+	ID    int
+	Rings []*circuit.Ring
+	// meterSeed makes measurement noise a pure function of (board,
+	// environment): repeated measurements at one environment reproduce the
+	// same noise realization, different environments draw independent
+	// realizations, and concurrent measurements are race-free.
+	meterSeed uint64
+	noisePS   float64
+	repeats   int
+}
+
+// NumPairs returns the number of PUF pairs (rings/2).
+func (b *InHouseBoard) NumPairs() int { return len(b.Rings) / 2 }
+
+// envSeed derives the deterministic noise seed for one environment.
+func (b *InHouseBoard) envSeed(env silicon.Env) uint64 {
+	mv := uint64(int64(env.V*1000 + 0.5))
+	dc := uint64(int64(env.T*10 + 0.5))
+	return b.meterSeed ^ mv<<32 ^ dc
+}
+
+// MeasurePairs runs the leave-one-out protocol on every ring pair under the
+// given environment and returns per-pair delay vectors for the selection
+// algorithms. Ring 2i is the pair's top ring, ring 2i+1 the bottom.
+func (b *InHouseBoard) MeasurePairs(env silicon.Env) ([]core.Pair, error) {
+	meter := measure.NewMeter(env, rngx.New(b.envSeed(env)))
+	meter.NoisePS = b.noisePS
+	meter.Repeats = b.repeats
+	pairs := make([]core.Pair, 0, b.NumPairs())
+	for i := 0; i+1 < len(b.Rings); i += 2 {
+		alpha, beta, err := meter.PairDdiffs(b.Rings[i], b.Rings[i+1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: board %d pair %d: %w", b.ID, i/2, err)
+		}
+		pairs = append(pairs, core.Pair{Alpha: alpha, Beta: beta})
+	}
+	return pairs, nil
+}
+
+// FullRingDelays returns each ring's half-period with every stage selected
+// under env — the quantity the traditional RO PUF compares.
+func (b *InHouseBoard) FullRingDelays(env silicon.Env) ([]float64, error) {
+	out := make([]float64, len(b.Rings))
+	for i, r := range b.Rings {
+		d, err := r.HalfPeriodPS(circuit.AllSelected(r.NumStages()), env)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: board %d ring %d: %w", b.ID, i, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// GenerateInHouse fabricates the inverter-level boards.
+func GenerateInHouse(cfg InHouseConfig) ([]*InHouseBoard, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rngx.New(cfg.Seed)
+	devicesPerRing := 3*cfg.StagesPerRing + 1 // 3 per stage + enable
+	total := devicesPerRing * cfg.RingsPerBoard
+	// Lay the die out as close to square as the device count allows.
+	w := 1
+	for w*w < total {
+		w++
+	}
+	h := (total + w - 1) / w
+	boards := make([]*InHouseBoard, 0, cfg.NumBoards)
+	for id := 0; id < cfg.NumBoards; id++ {
+		brng := root.Split()
+		die, err := silicon.NewDie(cfg.Process, w, h, brng)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: board %d: %w", id, err)
+		}
+		builder := circuit.NewBuilder(die)
+		b := &InHouseBoard{
+			ID:        id,
+			meterSeed: brng.Uint64(),
+			noisePS:   cfg.MeterNoisePS,
+			repeats:   cfg.MeterRepeats,
+		}
+		for r := 0; r < cfg.RingsPerBoard; r++ {
+			ring, err := builder.BuildRing(cfg.StagesPerRing, cfg.MuxScale, cfg.WireScale)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: board %d ring %d: %w", id, r, err)
+			}
+			b.Rings = append(b.Rings, ring)
+		}
+		boards = append(boards, b)
+	}
+	return boards, nil
+}

@@ -1,0 +1,164 @@
+// Package distill implements the regression-based distiller of Yin & Qu
+// (DAC 2013), which the paper applies before bit generation: raw RO
+// frequencies carry a smooth *systematic* process-variation component that
+// is correlated across neighbouring ROs and across chips, and PUF bits
+// derived from raw values fail the NIST randomness tests (paper §IV.A).
+//
+// The distiller fits a low-degree bivariate polynomial
+//
+//	f(x, y) ≈ Σ_{i+j ≤ d} c_ij · xⁱ · yʲ
+//
+// to one board's measurements as a function of die position by linear least
+// squares and keeps only the residuals — the spatially uncorrelated random
+// variation that is unique per chip.
+package distill
+
+import (
+	"errors"
+	"fmt"
+
+	"ropuf/internal/linalg"
+)
+
+// Distiller configures the polynomial surface fit.
+type Distiller struct {
+	// Degree is the total degree of the bivariate polynomial. Degree 2
+	// (six coefficients) removes the quadratic systematic surfaces typical
+	// of FPGA dies; the ablation benchmark sweeps 0–4.
+	Degree int
+}
+
+// New returns a Distiller of the given polynomial degree.
+func New(degree int) (*Distiller, error) {
+	if degree < 0 || degree > 8 {
+		return nil, fmt.Errorf("distill: degree %d out of supported range [0,8]", degree)
+	}
+	return &Distiller{Degree: degree}, nil
+}
+
+// NumTerms returns the number of polynomial coefficients for the degree.
+func (d *Distiller) NumTerms() int {
+	return (d.Degree + 1) * (d.Degree + 2) / 2
+}
+
+// Model is a fitted systematic-variation surface.
+type Model struct {
+	Degree int
+	Coef   []float64 // ordered by total degree then x-power, see terms()
+	// xScale/yScale normalize coordinates to [-1, 1] to keep the normal
+	// equations well conditioned.
+	xOff, xScale float64
+	yOff, yScale float64
+}
+
+// terms fills row with the polynomial basis evaluated at (u, v).
+func terms(degree int, u, v float64, row []float64) {
+	k := 0
+	for total := 0; total <= degree; total++ {
+		for i := total; i >= 0; i-- {
+			j := total - i
+			p := 1.0
+			for a := 0; a < i; a++ {
+				p *= u
+			}
+			for b := 0; b < j; b++ {
+				p *= v
+			}
+			row[k] = p
+			k++
+		}
+	}
+}
+
+func scaleParams(vals []int) (off, scale float64) {
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	off = float64(lo+hi) / 2
+	scale = float64(hi-lo) / 2
+	if scale == 0 {
+		scale = 1
+	}
+	return off, scale
+}
+
+// Fit estimates the systematic surface from one board's measurements:
+// values[i] was measured at grid position (xs[i], ys[i]).
+func (d *Distiller) Fit(xs, ys []int, values []float64) (*Model, error) {
+	n := len(values)
+	if len(xs) != n || len(ys) != n {
+		return nil, fmt.Errorf("distill: Fit length mismatch: %d xs, %d ys, %d values", len(xs), len(ys), n)
+	}
+	if n == 0 {
+		return nil, errors.New("distill: Fit with no samples")
+	}
+	nt := d.NumTerms()
+	if n < nt {
+		return nil, fmt.Errorf("distill: %d samples cannot determine %d coefficients", n, nt)
+	}
+	m := &Model{Degree: d.Degree}
+	m.xOff, m.xScale = scaleParams(xs)
+	m.yOff, m.yScale = scaleParams(ys)
+
+	a := linalg.NewMatrix(n, nt)
+	row := make([]float64, nt)
+	for i := 0; i < n; i++ {
+		u := (float64(xs[i]) - m.xOff) / m.xScale
+		v := (float64(ys[i]) - m.yOff) / m.yScale
+		terms(d.Degree, u, v, row)
+		for j, t := range row {
+			a.Set(i, j, t)
+		}
+	}
+	// Householder QR keeps the fit stable even for high degrees or
+	// degenerate geometries where the normal equations would square the
+	// condition number.
+	coef, err := linalg.LeastSquaresQR(a, values)
+	if err != nil {
+		return nil, fmt.Errorf("distill: least squares: %w", err)
+	}
+	m.Coef = coef
+	return m, nil
+}
+
+// Predict evaluates the fitted surface at grid position (x, y).
+func (m *Model) Predict(x, y int) float64 {
+	row := make([]float64, len(m.Coef))
+	u := (float64(x) - m.xOff) / m.xScale
+	v := (float64(y) - m.yOff) / m.yScale
+	terms(m.Degree, u, v, row)
+	var s float64
+	for i, c := range m.Coef {
+		s += c * row[i]
+	}
+	return s
+}
+
+// Residuals returns values minus the surface prediction at each position.
+func (m *Model) Residuals(xs, ys []int, values []float64) ([]float64, error) {
+	n := len(values)
+	if len(xs) != n || len(ys) != n {
+		return nil, fmt.Errorf("distill: Residuals length mismatch: %d xs, %d ys, %d values", len(xs), len(ys), n)
+	}
+	out := make([]float64, n)
+	for i := range values {
+		out[i] = values[i] - m.Predict(xs[i], ys[i])
+	}
+	return out, nil
+}
+
+// Apply is the one-shot convenience: fit a surface to the samples and
+// return the residuals.
+func (d *Distiller) Apply(xs, ys []int, values []float64) ([]float64, error) {
+	m, err := d.Fit(xs, ys, values)
+	if err != nil {
+		return nil, err
+	}
+	return m.Residuals(xs, ys, values)
+}

@@ -1,0 +1,166 @@
+package distill
+
+import (
+	"math"
+	"testing"
+
+	"ropuf/internal/rngx"
+)
+
+// gridSamples builds samples over a w×h grid using f(x, y).
+func gridSamples(w, h int, f func(x, y int) float64) (xs, ys []int, vals []float64) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			xs = append(xs, x)
+			ys = append(ys, y)
+			vals = append(vals, f(x, y))
+		}
+	}
+	return xs, ys, vals
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Fatal("accepted negative degree")
+	}
+	if _, err := New(9); err == nil {
+		t.Fatal("accepted degree above limit")
+	}
+	d, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTerms() != 6 {
+		t.Fatalf("NumTerms(2) = %d, want 6", d.NumTerms())
+	}
+}
+
+func TestFitRecoversPolynomialExactly(t *testing.T) {
+	// A quadratic surface must be fitted exactly by a degree-2 distiller:
+	// all residuals zero.
+	f := func(x, y int) float64 {
+		fx, fy := float64(x), float64(y)
+		return 100 + 2*fx - 3*fy + 0.5*fx*fx + 0.25*fy*fy - 0.1*fx*fy
+	}
+	xs, ys, vals := gridSamples(8, 8, f)
+	d, _ := New(2)
+	res, err := d.Apply(xs, ys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if math.Abs(r) > 1e-8 {
+			t.Fatalf("residual %d = %g, want ~0", i, r)
+		}
+	}
+}
+
+func TestPredictMatchesSurface(t *testing.T) {
+	f := func(x, y int) float64 { return 5 + float64(x) - 2*float64(y) }
+	xs, ys, vals := gridSamples(6, 6, f)
+	d, _ := New(1)
+	m, err := d.Fit(xs, ys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range [][2]int{{0, 0}, {5, 5}, {2, 4}} {
+		want := f(pt[0], pt[1])
+		got := m.Predict(pt[0], pt[1])
+		if math.Abs(got-want) > 1e-8 {
+			t.Fatalf("Predict(%d,%d) = %g, want %g", pt[0], pt[1], got, want)
+		}
+	}
+}
+
+func TestResidualsRemoveSystematicKeepRandom(t *testing.T) {
+	// systematic quadratic + iid noise: residual variance should match the
+	// noise variance, not the (much larger) systematic variance.
+	rng := rngx.New(1)
+	const noiseStd = 1.0
+	f := func(x, y int) float64 {
+		fx, fy := float64(x), float64(y)
+		return 1000 + 20*fx - 15*fy + 1.2*fx*fx + 0.8*fy*fy + rng.NormMeanStd(0, noiseStd)
+	}
+	xs, ys, vals := gridSamples(16, 16, f)
+	d, _ := New(2)
+	res, err := d.Apply(xs, ys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, variance float64
+	for _, r := range res {
+		mean += r
+	}
+	mean /= float64(len(res))
+	for _, r := range res {
+		variance += (r - mean) * (r - mean)
+	}
+	variance /= float64(len(res))
+	if math.Abs(mean) > 0.2 {
+		t.Fatalf("residual mean %g, want ~0", mean)
+	}
+	if variance > 2.0*noiseStd*noiseStd || variance < 0.5*noiseStd*noiseStd {
+		t.Fatalf("residual variance %g, want ~%g", variance, noiseStd*noiseStd)
+	}
+}
+
+func TestLowDegreeLeavesSystematicBehind(t *testing.T) {
+	// A degree-0 distiller can only remove the mean; gradients survive.
+	f := func(x, y int) float64 { return 50 + 10*float64(x) }
+	xs, ys, vals := gridSamples(8, 8, f)
+	d0, _ := New(0)
+	res0, err := d0.Apply(xs, ys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxAbs float64
+	for _, r := range res0 {
+		if a := math.Abs(r); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs < 10 {
+		t.Fatalf("degree-0 distiller removed a gradient it cannot model (max residual %g)", maxAbs)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	d, _ := New(2)
+	if _, err := d.Fit([]int{1}, []int{1, 2}, []float64{1}); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+	if _, err := d.Fit(nil, nil, nil); err == nil {
+		t.Fatal("accepted empty samples")
+	}
+	// Fewer samples than coefficients.
+	if _, err := d.Fit([]int{0, 1}, []int{0, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("accepted underdetermined fit")
+	}
+}
+
+func TestResidualsValidation(t *testing.T) {
+	f := func(x, y int) float64 { return float64(x + y) }
+	xs, ys, vals := gridSamples(4, 4, f)
+	d, _ := New(1)
+	m, err := d.Fit(xs, ys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Residuals(xs[:3], ys, vals); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+}
+
+func TestDegenerateGeometry(t *testing.T) {
+	// All samples on one row: y has zero spread; the scale guard must keep
+	// the normal equations solvable for a degree-1 fit in x only... the
+	// y column becomes constant, making the system singular — expect a
+	// clean error, not a panic.
+	xs := []int{0, 1, 2, 3, 4, 5}
+	ys := []int{2, 2, 2, 2, 2, 2}
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	d, _ := New(1)
+	if _, err := d.Fit(xs, ys, vals); err == nil {
+		t.Log("degenerate geometry fitted (scale guard made v identically 0 -> singular expected); accepted either way")
+	}
+}

@@ -1,0 +1,192 @@
+// Package entropy estimates the min-entropy of PUF response bits, in the
+// style of NIST SP 800-90B's binary estimators. Key generation (the paper's
+// motivating application) needs the response's min-entropy per bit to be
+// close to 1; systematic variation drags it below 1, which is another lens
+// on why the distiller is required before key extraction.
+//
+// Implemented estimators:
+//
+//   - MostCommonValue (§6.3.1): −log2 of an upper confidence bound on the
+//     most likely symbol's probability.
+//   - Markov (§6.3.3, binary specialization): bounds the probability of the
+//     most likely 128-bit sequence under a first-order Markov model.
+//   - ShannonRate: block-frequency Shannon entropy rate (diagnostic, an
+//     upper bound on min-entropy; not part of 90B).
+//
+// MinEntropyPerBit returns the conservative minimum of the estimators, as
+// 90B prescribes.
+package entropy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ropuf/internal/bits"
+)
+
+// MostCommonValue implements the 90B most-common-value estimate on a binary
+// sequence: p̂_u = p̂ + 2.576·√(p̂(1−p̂)/(N−1)), H = −log2(min(1, p̂_u)).
+func MostCommonValue(s *bits.Stream) (float64, error) {
+	n := s.Len()
+	if n < 2 {
+		return 0, errors.New("entropy: MostCommonValue needs at least 2 bits")
+	}
+	ones := s.OnesCount()
+	zeros := n - ones
+	count := ones
+	if zeros > ones {
+		count = zeros
+	}
+	p := float64(count) / float64(n)
+	pu := p + 2.576*math.Sqrt(p*(1-p)/float64(n-1))
+	if pu > 1 {
+		pu = 1
+	}
+	if pu <= 0 {
+		return 0, fmt.Errorf("entropy: degenerate probability bound %g", pu)
+	}
+	return -math.Log2(pu), nil
+}
+
+// Markov implements the 90B binary Markov estimate: transition
+// probabilities are bounded upward with a confidence term, the most
+// probable length-128 sequence is found over the chain, and the min-entropy
+// per bit is −log2(p_max)/128.
+func Markov(s *bits.Stream) (float64, error) {
+	n := s.Len()
+	if n < 3 {
+		return 0, errors.New("entropy: Markov needs at least 3 bits")
+	}
+	// Counts: c[prev][next].
+	var c [2][2]float64
+	for i := 0; i+1 < n; i++ {
+		c[s.Int(i)][s.Int(i+1)]++
+	}
+	p0 := float64(n-s.OnesCount()) / float64(n)
+	p1 := 1 - p0
+	// Upper confidence bounds per 90B: ε over initial probabilities and
+	// per-row transition probabilities.
+	eps := func(count float64) float64 {
+		if count == 0 {
+			return 1
+		}
+		return math.Sqrt(math.Log(1/0.05) / (2 * count))
+	}
+	bound := func(p, e float64) float64 {
+		v := p + e
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	var t [2][2]float64
+	for prev := 0; prev < 2; prev++ {
+		rowTotal := c[prev][0] + c[prev][1]
+		for next := 0; next < 2; next++ {
+			var p float64
+			if rowTotal > 0 {
+				p = c[prev][next] / rowTotal
+			} else {
+				p = 0.5
+			}
+			t[prev][next] = bound(p, eps(rowTotal))
+		}
+	}
+	pInit := [2]float64{
+		bound(p0, eps(float64(n))),
+		bound(p1, eps(float64(n))),
+	}
+	// Most probable 128-bit sequence by dynamic programming over the
+	// 2-state chain (work in log space to avoid underflow).
+	const seqLen = 128
+	logT := func(p float64) float64 {
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log2(p)
+	}
+	best := [2]float64{logT(pInit[0]), logT(pInit[1])}
+	for step := 1; step < seqLen; step++ {
+		var next [2]float64
+		for to := 0; to < 2; to++ {
+			a := best[0] + logT(t[0][to])
+			b := best[1] + logT(t[1][to])
+			if a > b {
+				next[to] = a
+			} else {
+				next[to] = b
+			}
+		}
+		best = next
+	}
+	logPMax := best[0]
+	if best[1] > logPMax {
+		logPMax = best[1]
+	}
+	h := -logPMax / seqLen
+	if h > 1 {
+		h = 1
+	}
+	return h, nil
+}
+
+// ShannonRate estimates the Shannon entropy rate from overlapping m-bit
+// block frequencies: H_m/m with H_m the block entropy. It upper-bounds the
+// min-entropy and converges to the true rate as m grows (diagnostic only).
+func ShannonRate(s *bits.Stream, m int) (float64, error) {
+	n := s.Len()
+	if m <= 0 || m > 16 {
+		return 0, fmt.Errorf("entropy: block length %d out of range [1,16]", m)
+	}
+	if n < 4*(1<<uint(m)) {
+		return 0, fmt.Errorf("entropy: %d bits too short for m=%d block statistics", n, m)
+	}
+	counts := make([]int, 1<<uint(m))
+	window := 0
+	mask := 1<<uint(m) - 1
+	for i := 0; i < m-1; i++ {
+		window = window<<1 | s.Int(i)
+	}
+	total := 0
+	for i := m - 1; i < n; i++ {
+		window = (window<<1 | s.Int(i)) & mask
+		counts[window]++
+		total++
+	}
+	var h float64
+	for _, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		p := float64(cnt) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h / float64(m), nil
+}
+
+// Estimate bundles the individual estimators.
+type Estimate struct {
+	MCV     float64
+	Markov  float64
+	Shannon float64 // diagnostic upper bound
+	// Min is the conservative per-bit min-entropy: min(MCV, Markov).
+	Min float64
+}
+
+// MinEntropyPerBit runs every estimator and returns the bundle.
+func MinEntropyPerBit(s *bits.Stream) (Estimate, error) {
+	mcv, err := MostCommonValue(s)
+	if err != nil {
+		return Estimate{}, err
+	}
+	mk, err := Markov(s)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{MCV: mcv, Markov: mk, Min: math.Min(mcv, mk)}
+	if sh, err := ShannonRate(s, 4); err == nil {
+		est.Shannon = sh
+	}
+	return est, nil
+}

@@ -1,0 +1,182 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/rngx"
+)
+
+func randomBits(seed uint64, n int) *bits.Stream {
+	r := rngx.New(seed)
+	s := bits.New(n)
+	for i := 0; i < n; i++ {
+		s.Append(r.Bool())
+	}
+	return s
+}
+
+func biasedBits(seed uint64, n int, pOne float64) *bits.Stream {
+	r := rngx.New(seed)
+	s := bits.New(n)
+	for i := 0; i < n; i++ {
+		s.Append(r.Float64() < pOne)
+	}
+	return s
+}
+
+func TestMostCommonValueUniform(t *testing.T) {
+	h, err := MostCommonValue(randomBits(1, 100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.95 || h > 1 {
+		t.Fatalf("MCV entropy %.4f for uniform bits, want ~1", h)
+	}
+}
+
+func TestMostCommonValueBiased(t *testing.T) {
+	// p(1) = 0.75: H_min = −log2(0.75) ≈ 0.415.
+	h, err := MostCommonValue(biasedBits(2, 100_000, 0.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -math.Log2(0.75)
+	if math.Abs(h-want) > 0.03 {
+		t.Fatalf("MCV entropy %.4f for 75%% bias, want ~%.4f", h, want)
+	}
+}
+
+func TestMostCommonValueConstant(t *testing.T) {
+	s := bits.New(1000)
+	for i := 0; i < 1000; i++ {
+		s.Append(true)
+	}
+	h, err := MostCommonValue(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("constant stream MCV entropy %.4f, want 0", h)
+	}
+}
+
+func TestMarkovUniform(t *testing.T) {
+	h, err := Markov(randomBits(3, 100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.95 || h > 1 {
+		t.Fatalf("Markov entropy %.4f for uniform bits, want ~1", h)
+	}
+}
+
+func TestMarkovDetectsCorrelation(t *testing.T) {
+	// Sticky chain: P(next == prev) = 0.9 — unconditionally balanced, so
+	// MCV sees full entropy but Markov must not.
+	r := rngx.New(4)
+	s := bits.New(100_000)
+	prev := false
+	for i := 0; i < 100_000; i++ {
+		if r.Float64() < 0.1 {
+			prev = !prev
+		}
+		s.Append(prev)
+	}
+	mcv, err := MostCommonValue(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, err := Markov(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcv < 0.9 {
+		t.Fatalf("MCV %.3f should be blind to the correlation", mcv)
+	}
+	// Per-step min-entropy of the sticky chain ≈ −log2(0.9) ≈ 0.152.
+	if mk > 0.3 {
+		t.Fatalf("Markov %.3f failed to detect the sticky chain", mk)
+	}
+}
+
+func TestMarkovAlternating(t *testing.T) {
+	s := bits.New(10_000)
+	for i := 0; i < 10_000; i++ {
+		s.Append(i%2 == 0)
+	}
+	h, err := Markov(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h > 0.05 {
+		t.Fatalf("Markov entropy %.4f for deterministic alternation, want ~0", h)
+	}
+}
+
+func TestShannonRate(t *testing.T) {
+	h, err := ShannonRate(randomBits(5, 100_000), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.99 || h > 1.0001 {
+		t.Fatalf("Shannon rate %.4f for uniform bits, want ~1", h)
+	}
+	h, err = ShannonRate(biasedBits(6, 100_000, 0.9), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shannon entropy of p=0.9 is ~0.469; block rate should be close.
+	if h > 0.55 || h < 0.4 {
+		t.Fatalf("Shannon rate %.4f for 90%% bias, want ~0.47", h)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := MostCommonValue(bits.New(0)); err == nil {
+		t.Error("MCV accepted empty stream")
+	}
+	if _, err := Markov(bits.MustFromString("01")); err == nil {
+		t.Error("Markov accepted 2 bits")
+	}
+	if _, err := ShannonRate(randomBits(7, 100), 0); err == nil {
+		t.Error("ShannonRate accepted m=0")
+	}
+	if _, err := ShannonRate(randomBits(8, 100), 17); err == nil {
+		t.Error("ShannonRate accepted m=17")
+	}
+	if _, err := ShannonRate(randomBits(9, 10), 4); err == nil {
+		t.Error("ShannonRate accepted too-short stream")
+	}
+}
+
+func TestMinEntropyPerBitBundle(t *testing.T) {
+	est, err := MinEntropyPerBit(randomBits(10, 50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Min > est.MCV+1e-12 || est.Min > est.Markov+1e-12 {
+		t.Fatal("Min must be the minimum of the estimators")
+	}
+	if est.Min < 0.9 {
+		t.Fatalf("uniform stream min-entropy %.3f, want ~1", est.Min)
+	}
+	if est.Shannon < est.Min-0.05 {
+		t.Fatalf("Shannon %.3f below min-entropy %.3f; bound violated", est.Shannon, est.Min)
+	}
+}
+
+func TestEstimatorsMonotoneInBias(t *testing.T) {
+	prev := 2.0
+	for _, p := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		est, err := MinEntropyPerBit(biasedBits(11, 80_000, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Min > prev+0.02 {
+			t.Fatalf("min-entropy not decreasing with bias: %.3f after %.3f", est.Min, prev)
+		}
+		prev = est.Min
+	}
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ropuf/internal/baseline"
+	"ropuf/internal/bits"
+	"ropuf/internal/core"
+	"ropuf/internal/dataset"
+	"ropuf/internal/metrics"
+)
+
+// Fig3 reproduces Fig. 3: histograms of pairwise inter-chip Hamming
+// distance of the 97 96-bit PUF output streams, for Case-1 and Case-2.
+// Paper: mean 46.88 / σ 4.89 (Case-1) and 46.79 / 4.95 (Case-2).
+func (r *Runner) Fig3() (*Result, error) {
+	ds, err := r.VT()
+	if err != nil {
+		return nil, err
+	}
+	title := "Fig. 3 — inter-chip HD of configurable PUF outputs"
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n\n", title, strings.Repeat("=", len(title)))
+	for _, mode := range []core.Mode{core.Case1, core.Case2} {
+		streams, err := pufStreams(ds, numNominalBoards, streamRingLen, mode, true)
+		if err != nil {
+			return nil, err
+		}
+		hd, err := metrics.ComputeInterChipHD(streams)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%s: %d streams x %d bits, %d pairs\n",
+			mode, hd.NumResponses, hd.BitsPerResp, hd.NumPairs)
+		fmt.Fprintf(&b, "mean HD = %.2f bits, std = %.2f bits (uniqueness %.1f%%, ideal 50%%)\n",
+			hd.Mean, hd.Std, hd.UniquenessPercent())
+		fmt.Fprintf(&b, "%6s %8s\n", "HD", "pairs")
+		for _, k := range hd.Hist.Keys() {
+			fmt.Fprintf(&b, "%6d %8d %s\n", k, hd.Hist.Counts[k],
+				strings.Repeat("#", hd.Hist.Counts[k]*60/maxCount(hd.Hist.Counts)))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "Paper: Case-1 mean 46.88 / std 4.89; Case-2 mean 46.79 / std 4.95; bell-shaped.\n")
+	return &Result{ID: "fig3", Title: title, Text: b.String()}, nil
+}
+
+func maxCount(m map[int]int) int {
+	max := 1
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// reliabilityCell computes, for one environment board and ring length n,
+// the seven bars of one Fig. 4/5 subplot: the flipped-bit-position
+// percentage of (a) the configurable PUF enrolled at each of the sweep's
+// conditions, (b) the traditional PUF, and (c) the 1-out-of-8 PUF, all
+// evaluated across the full sweep against the nominal-condition baseline.
+func reliabilityCell(b *dataset.Board, n int, mode core.Mode, sweep []dataset.Condition) ([]float64, error) {
+	bars := make([]float64, 0, len(sweep)+2)
+
+	// Delay vectors per condition (raw — reliability uses physical
+	// measurements, the distiller only serves randomness extraction).
+	delays := map[dataset.Condition][]float64{}
+	for _, c := range sweep {
+		d, err := b.PeriodsPS(c)
+		if err != nil {
+			return nil, err
+		}
+		delays[c] = d
+	}
+	nominal, err := b.PeriodsPS(dataset.NominalCondition)
+	if err != nil {
+		return nil, err
+	}
+
+	// Configurable PUF: one bar per configuration condition.
+	for _, confCond := range sweep {
+		confPairs, err := groupPairs(delays[confCond], n)
+		if err != nil {
+			return nil, err
+		}
+		enr, err := core.Enroll(confPairs, mode, 0, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		// Baseline output at the nominal condition with this configuration.
+		nomPairs, err := groupPairs(nominal, n)
+		if err != nil {
+			return nil, err
+		}
+		baselineResp, err := enr.Evaluate(nomPairs)
+		if err != nil {
+			return nil, err
+		}
+		var regen []*bits.Stream
+		for _, c := range sweep {
+			if c == dataset.NominalCondition {
+				continue
+			}
+			pairs, err := groupPairs(delays[c], n)
+			if err != nil {
+				return nil, err
+			}
+			resp, err := enr.Evaluate(pairs)
+			if err != nil {
+				return nil, err
+			}
+			regen = append(regen, resp)
+		}
+		rel, err := metrics.ComputeReliability(baselineResp, regen)
+		if err != nil {
+			return nil, err
+		}
+		bars = append(bars, rel.FlippedPositionPercent())
+	}
+
+	// Traditional and 1-out-of-8 PUFs consume the same RO budget: the first
+	// 2·n·pairs ROs for traditional (pairing consecutive ROs), all groups
+	// of 8 within that budget for 1-out-of-8.
+	numPairs, _, err := dataset.GroupBitsPerBoard(len(nominal), n)
+	if err != nil {
+		return nil, err
+	}
+	budget := 2 * n * numPairs
+
+	trad, err := baseline.EnrollTraditional(nominal[:budget], 0)
+	if err != nil {
+		return nil, err
+	}
+	var tradRegen []*bits.Stream
+	for _, c := range sweep {
+		if c == dataset.NominalCondition {
+			continue
+		}
+		resp, err := trad.Evaluate(delays[c][:budget])
+		if err != nil {
+			return nil, err
+		}
+		tradRegen = append(tradRegen, resp)
+	}
+	tradRel, err := metrics.ComputeReliability(trad.Response, tradRegen)
+	if err != nil {
+		return nil, err
+	}
+	bars = append(bars, tradRel.FlippedPositionPercent())
+
+	oo8, err := baseline.EnrollOneOutOf8(nominal[:budget])
+	if err != nil {
+		return nil, err
+	}
+	var oo8Regen []*bits.Stream
+	for _, c := range sweep {
+		if c == dataset.NominalCondition {
+			continue
+		}
+		resp, err := oo8.Evaluate(delays[c][:budget])
+		if err != nil {
+			return nil, err
+		}
+		oo8Regen = append(oo8Regen, resp)
+	}
+	oo8Rel, err := metrics.ComputeReliability(oo8.Response, oo8Regen)
+	if err != nil {
+		return nil, err
+	}
+	bars = append(bars, oo8Rel.FlippedPositionPercent())
+
+	return bars, nil
+}
+
+// reliabilityFigure renders a Fig. 4/5-style grid: five environment boards
+// (rows) × four ring lengths (columns), seven bars per cell.
+func (r *Runner) reliabilityFigure(id, title string, sweep []dataset.Condition, mode core.Mode) (*Result, error) {
+	ds, err := r.VT()
+	if err != nil {
+		return nil, err
+	}
+	env := ds.EnvBoards()
+	if len(env) == 0 {
+		return nil, fmt.Errorf("experiments: dataset has no environment boards")
+	}
+	ns := []int{3, 5, 7, 9}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&b, "Bars per cell: configurable PUF (%s) enrolled at each sweep condition", mode)
+	fmt.Fprintf(&b, " %v,\nthen traditional PUF, then 1-out-of-8 PUF. Values are %% of bit positions that\nflip at any non-nominal condition.\n\n", condLabels(sweep))
+	sums := map[int]float64{}
+	counts := 0
+	for _, board := range env {
+		fmt.Fprintf(&b, "Board %d:\n", board.ID)
+		for _, n := range ns {
+			bars, err := reliabilityCell(board, n, mode, sweep)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: board %d n=%d: %w", board.ID, n, err)
+			}
+			fmt.Fprintf(&b, "  n=%d: ", n)
+			for i, v := range bars {
+				fmt.Fprintf(&b, "%6.2f", v)
+				sums[i] += v
+				if i == len(sweep)-1 {
+					b.WriteString(" |")
+				}
+			}
+			counts++
+			b.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&b, "\nMean over all boards and n:\n  ")
+	for i := 0; i < len(sweep)+2; i++ {
+		fmt.Fprintf(&b, "%6.2f", sums[i]/float64(counts))
+		if i == len(sweep)-1 {
+			b.WriteString(" |")
+		}
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "\nPaper observations: traditional bar tallest; 1-out-of-8 bar zero; configurable\nbars shrink as n grows (0%% by n=7); mid-sweep enrollment condition is best.\n")
+	return &Result{ID: id, Title: title, Text: b.String()}, nil
+}
+
+func condLabels(cs []dataset.Condition) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// Fig4 reproduces Fig. 4: bit flips under supply-voltage variation.
+func (r *Runner) Fig4() (*Result, error) {
+	return r.reliabilityFigure("fig4",
+		"Fig. 4 — % bit flips under voltage variation (Case-1 configurable vs baselines)",
+		dataset.VoltageSweep(), core.Case1)
+}
+
+// Fig5 reproduces the paper's temperature observation (§IV.D): bit flips
+// under temperature variation; only the traditional PUF flips.
+func (r *Runner) Fig5() (*Result, error) {
+	return r.reliabilityFigure("fig5",
+		"Fig. 5 — % bit flips under temperature variation (Case-1 configurable vs baselines)",
+		dataset.TemperatureSweep(), core.Case1)
+}
+
+// Fig4Case2 reproduces the paper's closing §IV.D remark: "similar
+// observations hold for Case-2 … because of this flexibility, the Case-2
+// configurable PUF becomes more reliable."
+func (r *Runner) Fig4Case2() (*Result, error) {
+	return r.reliabilityFigure("fig4case2",
+		"Fig. 4 (Case-2 variant) — % bit flips under voltage variation",
+		dataset.VoltageSweep(), core.Case2)
+}

@@ -1,0 +1,187 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section on the synthetic datasets. Each experiment renders a
+// plain-text report mirroring the paper's presentation; EXPERIMENTS.md
+// records paper-vs-measured values.
+//
+// Experiment IDs: tableI, tableII, fig3, tableIII, tableIV, fig4, fig5,
+// tableV, threshold, summary.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ropuf/internal/dataset"
+)
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// Runner executes experiments against lazily generated datasets, caching
+// them across experiments so "run everything" fabricates each dataset once.
+type Runner struct {
+	// VTConfig and InHouseConfig override the default dataset parameters
+	// when non-nil.
+	VTConfig      *dataset.VTConfig
+	InHouseConfig *dataset.InHouseConfig
+
+	mu      sync.Mutex
+	vt      *dataset.Dataset
+	inhouse []*dataset.InHouseBoard
+}
+
+// NewRunner returns a Runner with default dataset parameters.
+func NewRunner() *Runner { return &Runner{} }
+
+// VT returns the (cached) Virginia-Tech-style dataset.
+func (r *Runner) VT() (*dataset.Dataset, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.vt == nil {
+		cfg := dataset.DefaultVTConfig()
+		if r.VTConfig != nil {
+			cfg = *r.VTConfig
+		}
+		ds, err := dataset.GenerateVT(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.vt = ds
+	}
+	return r.vt, nil
+}
+
+// InHouse returns the (cached) inverter-granularity boards.
+func (r *Runner) InHouse() ([]*dataset.InHouseBoard, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inhouse == nil {
+		cfg := dataset.DefaultInHouseConfig()
+		if r.InHouseConfig != nil {
+			cfg = *r.InHouseConfig
+		}
+		boards, err := dataset.GenerateInHouse(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.inhouse = boards
+	}
+	return r.inhouse, nil
+}
+
+// experimentFns maps experiment IDs to their implementations.
+func (r *Runner) experimentFns() map[string]func() (*Result, error) {
+	return map[string]func() (*Result, error){
+		"tableI":    r.TableI,
+		"tableII":   r.TableII,
+		"fig3":      r.Fig3,
+		"tableIII":  r.TableIII,
+		"tableIV":   r.TableIV,
+		"fig4":      r.Fig4,
+		"fig5":      r.Fig5,
+		"tableV":    r.TableV,
+		"threshold": r.Threshold,
+		"summary":   r.Summary,
+		// Extensions beyond the paper's published evaluation.
+		"security":    r.Security,
+		"nistlong":    r.NISTLong,
+		"maiti":       r.Maiti,
+		"parity":      r.Parity,
+		"utilization": r.Utilization,
+		"distiller":   r.Distiller,
+		"aging":       r.Aging,
+		"modeling":    r.Modeling,
+		"entropy":     r.Entropy,
+		"ecc":         r.ECC,
+		"sensitivity": r.Sensitivity,
+		"trng":        r.TRNG,
+		"pairing":     r.Pairing,
+		"multibit":    r.Multibit,
+		"measurement": r.Measurement,
+		"fig4case2":   r.Fig4Case2,
+	}
+}
+
+// IDs lists the available experiment IDs in presentation order: first the
+// paper's tables and figures, then the extension analyses.
+func IDs() []string {
+	return []string{
+		"tableI", "tableII", "fig3", "tableIII", "tableIV",
+		"fig4", "fig5", "tableV", "threshold", "summary",
+		"security", "nistlong", "maiti", "parity",
+		"utilization", "distiller", "aging", "modeling",
+		"entropy", "ecc", "sensitivity", "trng", "pairing",
+		"multibit", "measurement", "fig4case2",
+	}
+}
+
+// Run executes one experiment by ID.
+func (r *Runner) Run(id string) (*Result, error) {
+	fn, ok := r.experimentFns()[id]
+	if !ok {
+		known := IDs()
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
+	}
+	return fn()
+}
+
+// RunAll executes every experiment in presentation order.
+func (r *Runner) RunAll() ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		res, err := r.Run(id)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunAllParallel executes every experiment concurrently (bounded by
+// workers; <= 0 means one per experiment) and returns the results in
+// presentation order. Datasets are generated once up front so the workers
+// contend only on read access.
+func (r *Runner) RunAllParallel(workers int) ([]*Result, error) {
+	ids := IDs()
+	if workers <= 0 || workers > len(ids) {
+		workers = len(ids)
+	}
+	// Warm dataset caches before fanning out.
+	if _, err := r.VT(); err != nil {
+		return nil, err
+	}
+	if _, err := r.InHouse(); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(ids))
+	errs := make([]error, len(ids))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = r.Run(ids[i])
+			}
+		}()
+	}
+	for i := range ids {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", ids[i], err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/core"
+	"ropuf/internal/dataset"
+	"ropuf/internal/distill"
+)
+
+// distillerDegree is the polynomial degree of the systematic-variation fit
+// used before randomness/uniqueness bit extraction (the paper applies the
+// distiller of [18] for the same purpose).
+const distillerDegree = 2
+
+// boardDelays returns a board's per-RO delays (periods) under cond,
+// optionally distilled (systematic surface removed).
+func boardDelays(b *dataset.Board, cond dataset.Condition, distilled bool) ([]float64, error) {
+	periods, err := b.PeriodsPS(cond)
+	if err != nil {
+		return nil, err
+	}
+	if !distilled {
+		return periods, nil
+	}
+	d, err := distill.New(distillerDegree)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Apply(b.X, b.Y, periods)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: distilling board %d: %w", b.ID, err)
+	}
+	return res, nil
+}
+
+// groupPairs slices a board's delay vector into PUF pairs of n-stage rings:
+// pair p's top ring uses delays[2np : 2np+n], its bottom ring the next n.
+// numPairs follows the paper's Table V accounting.
+func groupPairs(delays []float64, n int) ([]core.Pair, error) {
+	numPairs, _, err := dataset.GroupBitsPerBoard(len(delays), n)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]core.Pair, numPairs)
+	for p := 0; p < numPairs; p++ {
+		base := p * 2 * n
+		pairs[p] = core.Pair{
+			Alpha: delays[base : base+n],
+			Beta:  delays[base+n : base+2*n],
+		}
+	}
+	return pairs, nil
+}
+
+// boardEnroll groups a board's delays at cond into n-stage pairs and
+// enrolls the configurable PUF.
+func boardEnroll(b *dataset.Board, cond dataset.Condition, n int, mode core.Mode, distilled bool) (*core.Enrollment, error) {
+	delays, err := boardDelays(b, cond, distilled)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := groupPairs(delays, n)
+	if err != nil {
+		return nil, err
+	}
+	return core.Enroll(pairs, mode, 0, core.Options{})
+}
+
+// boardResponse is boardEnroll's response stream.
+func boardResponse(b *dataset.Board, cond dataset.Condition, n int, mode core.Mode, distilled bool) (*bits.Stream, error) {
+	e, err := boardEnroll(b, cond, n, mode, distilled)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: board %d: %w", b.ID, err)
+	}
+	return e.Response, nil
+}
+
+// pufStreams builds the paper's §IV.A bit-streams: per-board responses with
+// n-stage rings, concatenated two boards at a time. With n = 5 and 512 ROs
+// per board each response is 48 bits, so each stream is 96 bits; 194
+// nominal boards yield 97 streams.
+func pufStreams(ds *dataset.Dataset, numBoards, n int, mode core.Mode, distilled bool) ([]*bits.Stream, error) {
+	boards := ds.NominalBoards()
+	if len(boards) < numBoards {
+		return nil, fmt.Errorf("experiments: dataset has %d nominal boards, need %d", len(boards), numBoards)
+	}
+	boards = boards[:numBoards]
+	responses := make([]*bits.Stream, len(boards))
+	for i, b := range boards {
+		resp, err := boardResponse(b, dataset.NominalCondition, n, mode, distilled)
+		if err != nil {
+			return nil, err
+		}
+		responses[i] = resp
+	}
+	var streams []*bits.Stream
+	for i := 0; i+1 < len(responses); i += 2 {
+		streams = append(streams, bits.Concat(responses[i], responses[i+1]))
+	}
+	// The paper pairs 194 boards into 97 streams: with an even board count
+	// every board is consumed. An odd count would drop the last board.
+	return streams, nil
+}
+
+// numNominalBoards is the population size the paper uses (194 of the 198
+// boards have nominal-only measurements).
+const numNominalBoards = 194
+
+// streamRingLen is the ring length of the §IV.A randomness experiments.
+const streamRingLen = 5

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ropuf/internal/core"
+	"ropuf/internal/dataset"
+	"ropuf/internal/metrics"
+	"ropuf/internal/nist"
+)
+
+// Check is one verifiable reproduction claim.
+type Check struct {
+	Name string
+	OK   bool
+	Got  string
+}
+
+// Verify runs the headline assertions of the reproduction end-to-end and
+// returns one Check per claim. cmd/ropuf's "verify" subcommand exits
+// non-zero if any fails, making this the repository's CI gate.
+func (r *Runner) Verify() ([]Check, error) {
+	var checks []Check
+	add := func(name string, ok bool, format string, args ...any) {
+		checks = append(checks, Check{Name: name, OK: ok, Got: fmt.Sprintf(format, args...)})
+	}
+	ds, err := r.VT()
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Raw streams fail NIST; distilled pass (Tables I/II).
+	rawStreams, err := pufStreams(ds, numNominalBoards, streamRingLen, core.Case1, false)
+	if err != nil {
+		return nil, err
+	}
+	rawRep, err := nist.RunReport(rawStreams, nist.ShortSuite(rawStreams[0].Len()))
+	if err != nil {
+		return nil, err
+	}
+	add("raw bits fail NIST", !rawRep.AllPass(), "allPass=%v", rawRep.AllPass())
+
+	distStreams, err := pufStreams(ds, numNominalBoards, streamRingLen, core.Case1, true)
+	if err != nil {
+		return nil, err
+	}
+	distRep, err := nist.RunReport(distStreams, nist.ShortSuite(distStreams[0].Len()))
+	if err != nil {
+		return nil, err
+	}
+	add("distilled bits pass NIST", distRep.AllPass(), "allPass=%v", distRep.AllPass())
+
+	// 2. Uniqueness ≈ 50% (Fig. 3).
+	hd, err := metrics.ComputeInterChipHD(distStreams)
+	if err != nil {
+		return nil, err
+	}
+	u := hd.UniquenessPercent()
+	add("uniqueness near 50%", u > 45 && u < 55, "%.1f%%", u)
+
+	// 3. Reliability ordering under voltage (Fig. 4): traditional worst,
+	// configurable near zero at n=7 with the mid-voltage configuration.
+	var confN7, tradMean float64
+	cells := 0
+	for _, board := range ds.EnvBoards() {
+		bars, err := reliabilityCell(board, 7, core.Case1, dataset.VoltageSweep())
+		if err != nil {
+			return nil, err
+		}
+		confN7 += bars[2]
+		tradMean += bars[5]
+		cells++
+	}
+	confN7 /= float64(cells)
+	tradMean /= float64(cells)
+	add("configurable n=7 mid-voltage 0% flips", confN7 == 0, "%.2f%%", confN7)
+	add("traditional flips > 5x configurable", tradMean > 5*(confN7+0.1), "trad=%.2f%%", tradMean)
+
+	// 4. Table V bit accounting and 4x claim.
+	conf, oo8, err := dataset.GroupBitsPerBoard(512, 5)
+	if err != nil {
+		return nil, err
+	}
+	add("Table V counts (n=5)", conf == 48 && oo8 == 12, "conf=%d oo8=%d", conf, oo8)
+
+	// 5. Threshold retention (§IV.E): configurable Case-2 keeps all bits at
+	// Rth = 3 where traditional loses more than a third.
+	thr, err := r.Threshold()
+	if err != nil {
+		return nil, err
+	}
+	var tv, cv [6]float64
+	if _, err := fscanText(thr.Text, "Traditional RO PUF %f %f %f %f %f %f", &tv[0], &tv[1], &tv[2], &tv[3], &tv[4], &tv[5]); err != nil {
+		return nil, err
+	}
+	if _, err := fscanText(thr.Text, "Configurable (Case-2) %f %f %f %f %f %f", &cv[0], &cv[1], &cv[2], &cv[3], &cv[4], &cv[5]); err != nil {
+		return nil, err
+	}
+	add("Case-2 keeps 32 bits at Rth=3", cv[3] >= 31.5, "%.1f", cv[3])
+	add("traditional loses >1/3 at Rth=3", tv[3] < 22, "%.1f", tv[3])
+
+	return checks, nil
+}
+
+// fscanText finds the first line containing the format's literal prefix and
+// scans it (the non-test sibling of the test helper fscanLine).
+func fscanText(text, format string, args ...any) (int, error) {
+	key := format
+	if i := strings.Index(format, "%"); i >= 0 {
+		key = strings.TrimSpace(format[:i])
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, key) {
+			return fmt.Sscanf(strings.TrimSpace(line), format, args...)
+		}
+	}
+	return 0, fmt.Errorf("experiments: no line matching %q", key)
+}

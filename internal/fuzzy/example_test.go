@@ -1,0 +1,54 @@
+package fuzzy_test
+
+import (
+	"fmt"
+	"log"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/fuzzy"
+	"ropuf/internal/rngx"
+)
+
+// ExampleGolayGen walks the full key-generation round trip: enroll a PUF
+// response, publish helper data, then reconstruct the key from a noisy
+// re-measurement with three bit errors in one block.
+func ExampleGolayGen() {
+	response := bits.MustFromString("10110100111010010110101" + "01101001011101101001101")
+	key, helper, err := fuzzy.GolayGen(response, rngx.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key bits: %d, helper bits: %d\n", key.Len(), helper.Len())
+
+	noisy := response.Clone()
+	for _, i := range []int{2, 9, 17} { // three flips in block 0: correctable
+		noisy.SetBit(i, !noisy.Bit(i))
+	}
+	recovered, err := fuzzy.GolayRep(noisy, helper)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key recovered: %v\n", recovered.Equal(key))
+	// Output:
+	// key bits: 24, helper bits: 46
+	// key recovered: true
+}
+
+// ExampleGen shows the simpler repetition-code extractor.
+func ExampleGen() {
+	response := bits.MustFromString("111000111000111")
+	key, helper, err := fuzzy.Gen(response, fuzzy.Params{Repeat: 3}, rngx.New(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	noisy := response.Clone()
+	noisy.SetBit(1, !noisy.Bit(1)) // one flip per block is correctable
+	recovered, err := fuzzy.Rep(noisy, helper, fuzzy.Params{Repeat: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key bits: %d, helper bits: %d, recovered: %v\n",
+		key.Len(), helper.Len(), recovered.Equal(key))
+	// Output:
+	// key bits: 5, helper bits: 15, recovered: true
+}

@@ -1,0 +1,88 @@
+// Package fuzzy implements a repetition-code fuzzy extractor (code-offset
+// construction, Dodis et al. 2004) for PUF key generation.
+//
+// The paper argues that margin-maximized configurable PUF bits are reliable
+// enough to *skip* error-correction circuitry. This package provides the
+// ECC baseline that claim is measured against: examples/keygen runs key
+// reconstruction with and without the extractor and reports the helper-data
+// and redundancy cost each PUF design needs for error-free keys.
+package fuzzy
+
+import (
+	"errors"
+	"fmt"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/rngx"
+)
+
+// Params configures the extractor.
+type Params struct {
+	// Repeat is the repetition-code length: each key bit is encoded into
+	// Repeat response bits and recovered by majority vote. Must be odd so
+	// votes cannot tie.
+	Repeat int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Repeat <= 0 || p.Repeat%2 == 0 {
+		return fmt.Errorf("fuzzy: Repeat must be positive and odd, got %d", p.Repeat)
+	}
+	return nil
+}
+
+// KeyLen returns the number of key bits extractable from an n-bit response.
+func (p Params) KeyLen(n int) int { return n / p.Repeat }
+
+// Gen enrolls a PUF response w: it draws a uniformly random key, encodes it
+// with the repetition code and publishes helper = codeword XOR w. The
+// helper data leaks nothing about the key as long as w has enough entropy
+// per block.
+func Gen(w *bits.Stream, p Params, rng *rngx.RNG) (key, helper *bits.Stream, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	k := p.KeyLen(w.Len())
+	if k == 0 {
+		return nil, nil, fmt.Errorf("fuzzy: response of %d bits too short for repeat=%d", w.Len(), p.Repeat)
+	}
+	key = bits.New(k)
+	helper = bits.New(k * p.Repeat)
+	for i := 0; i < k; i++ {
+		kb := rng.Bool()
+		key.Append(kb)
+		for j := 0; j < p.Repeat; j++ {
+			helper.Append(kb != w.Bit(i*p.Repeat+j)) // codeword XOR w
+		}
+	}
+	return key, helper, nil
+}
+
+// Rep reconstructs the key from a noisy re-measurement wPrime and the
+// public helper data: majority vote over helper XOR wPrime per block.
+// Reconstruction succeeds bit-wise whenever fewer than ⌈Repeat/2⌉ response
+// bits flipped within the block.
+func Rep(wPrime, helper *bits.Stream, p Params) (*bits.Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if helper.Len()%p.Repeat != 0 {
+		return nil, fmt.Errorf("fuzzy: helper length %d is not a multiple of repeat %d", helper.Len(), p.Repeat)
+	}
+	if wPrime.Len() < helper.Len() {
+		return nil, errors.New("fuzzy: response shorter than helper data")
+	}
+	k := helper.Len() / p.Repeat
+	key := bits.New(k)
+	for i := 0; i < k; i++ {
+		votes := 0
+		for j := 0; j < p.Repeat; j++ {
+			if helper.Bit(i*p.Repeat+j) != wPrime.Bit(i*p.Repeat+j) {
+				votes++
+			}
+		}
+		key.Append(votes*2 > p.Repeat)
+	}
+	return key, nil
+}

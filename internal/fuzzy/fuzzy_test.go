@@ -1,0 +1,159 @@
+package fuzzy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/rngx"
+)
+
+func randomResponse(seed uint64, n int) *bits.Stream {
+	r := rngx.New(seed)
+	s := bits.New(n)
+	for i := 0; i < n; i++ {
+		s.Append(r.Bool())
+	}
+	return s
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, rep := range []int{0, -1, 2, 4} {
+		if err := (Params{Repeat: rep}).Validate(); err == nil {
+			t.Errorf("Repeat=%d accepted", rep)
+		}
+	}
+	for _, rep := range []int{1, 3, 5, 7} {
+		if err := (Params{Repeat: rep}).Validate(); err != nil {
+			t.Errorf("Repeat=%d rejected: %v", rep, err)
+		}
+	}
+}
+
+func TestGenRepNoiseless(t *testing.T) {
+	w := randomResponse(1, 60)
+	p := Params{Repeat: 5}
+	key, helper, err := Gen(w, p, rngx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.Len() != 12 {
+		t.Fatalf("key length %d, want 12", key.Len())
+	}
+	if helper.Len() != 60 {
+		t.Fatalf("helper length %d, want 60", helper.Len())
+	}
+	got, err := Rep(w, helper, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(key) {
+		t.Fatal("noiseless reconstruction failed")
+	}
+}
+
+func TestRepCorrectsUpToHalfRepeat(t *testing.T) {
+	w := randomResponse(3, 45)
+	p := Params{Repeat: 5}
+	key, helper, err := Gen(w, p, rngx.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip 2 bits in every 5-bit block: still correctable.
+	noisy := w.Clone()
+	for b := 0; b < 9; b++ {
+		noisy.SetBit(b*5, !noisy.Bit(b*5))
+		noisy.SetBit(b*5+3, !noisy.Bit(b*5+3))
+	}
+	got, err := Rep(noisy, helper, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(key) {
+		t.Fatal("2-of-5 errors not corrected")
+	}
+	// Flip 3 bits in block 0: that key bit must now be wrong.
+	worse := w.Clone()
+	for _, i := range []int{0, 1, 2} {
+		worse.SetBit(i, !worse.Bit(i))
+	}
+	got, err = Rep(worse, helper, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bit(0) == key.Bit(0) {
+		t.Fatal("3-of-5 errors unexpectedly corrected")
+	}
+}
+
+func TestGenValidation(t *testing.T) {
+	w := randomResponse(5, 4)
+	if _, _, err := Gen(w, Params{Repeat: 4}, rngx.New(1)); err == nil {
+		t.Fatal("accepted even repeat")
+	}
+	if _, _, err := Gen(w, Params{Repeat: 5}, rngx.New(1)); err == nil {
+		t.Fatal("accepted response shorter than one block")
+	}
+}
+
+func TestRepValidation(t *testing.T) {
+	w := randomResponse(6, 15)
+	p := Params{Repeat: 3}
+	_, helper, err := Gen(w, p, rngx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rep(w, helper, Params{Repeat: 2}); err == nil {
+		t.Fatal("accepted even repeat")
+	}
+	if _, err := Rep(w, helper, Params{Repeat: 7}); err == nil {
+		t.Fatal("accepted helper not divisible by repeat")
+	}
+	if _, err := Rep(w.Slice(0, 10), helper, p); err == nil {
+		t.Fatal("accepted short response")
+	}
+}
+
+func TestGenRepRoundtripProperty(t *testing.T) {
+	check := func(seed uint64, repSel, flipSel uint8) bool {
+		rep := []int{1, 3, 5, 7}[repSel%4]
+		blocks := 8
+		w := randomResponse(seed, rep*blocks)
+		p := Params{Repeat: rep}
+		key, helper, err := Gen(w, p, rngx.New(seed^0xabcdef))
+		if err != nil {
+			return false
+		}
+		// Flip at most (rep-1)/2 bits per block: always correctable.
+		noisy := w.Clone()
+		maxFlips := (rep - 1) / 2
+		r := rngx.New(uint64(flipSel))
+		for b := 0; b < blocks; b++ {
+			for f := 0; f < maxFlips; f++ {
+				i := b*rep + r.Intn(rep)
+				// May hit the same bit twice (un-flipping); still within
+				// the correctable budget.
+				noisy.SetBit(i, !noisy.Bit(i))
+				_ = f
+			}
+		}
+		// Re-apply deterministically: count flips per block and bail if a
+		// block exceeded budget due to double-flips (cannot happen: double
+		// flip cancels), so reconstruction must succeed.
+		got, err := Rep(noisy, helper, p)
+		if err != nil {
+			return false
+		}
+		return got.Equal(key)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyLen(t *testing.T) {
+	p := Params{Repeat: 3}
+	if p.KeyLen(10) != 3 {
+		t.Fatalf("KeyLen(10) = %d, want 3", p.KeyLen(10))
+	}
+}

@@ -1,0 +1,254 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows built wrong matrix: %+v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("FromRows accepted ragged rows")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Fatal("FromRows(nil) should return empty matrix")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("Transpose shape %dx%d, want 3x2", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("Transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul (%d,%d) = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 2)); err == nil {
+		t.Fatal("Mul accepted shape mismatch")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, -1, 0}, {1, 3, 5}, {0, 0, 1}})
+	id := Identity(3)
+	left, _ := id.Mul(a)
+	right, _ := a.Mul(id)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if left.At(i, j) != a.At(i, j) || right.At(i, j) != a.At(i, j) {
+				t.Fatalf("identity multiplication changed matrix at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	v, err := a.MulVec([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 7 || v[1] != 6 {
+		t.Fatalf("MulVec = %v, want [7 6]", v)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("MulVec accepted wrong length")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("Solve x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Leading zero on the diagonal forces a row swap.
+	a, _ := FromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("Solve with pivoting = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("Solve accepted singular matrix")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("Solve accepted non-square matrix")
+	}
+	if _, err := Solve(Identity(2), []float64{1}); err == nil {
+		t.Fatal("Solve accepted wrong rhs length")
+	}
+}
+
+func TestSolveRoundtripProperty(t *testing.T) {
+	// For random well-conditioned systems, a·Solve(a, b) ≈ b.
+	check := func(seed int64) bool {
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(int64(s>>33))/float64(1<<30) - 1
+		}
+		const n = 5
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, next())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = next()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// Overdetermined but consistent: y = 2x + 1 sampled at 4 points.
+	a, _ := FromRows([][]float64{
+		{1, 0},
+		{1, 1},
+		{1, 2},
+		{1, 3},
+	})
+	y := []float64{1, 3, 5, 7}
+	c, err := LeastSquares(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c[0]-1) > 1e-10 || math.Abs(c[1]-2) > 1e-10 {
+		t.Fatalf("LeastSquares = %v, want [1 2]", c)
+	}
+}
+
+func TestLeastSquaresMinimizesResidual(t *testing.T) {
+	// Inconsistent system: solution should beat small perturbations.
+	a, _ := FromRows([][]float64{
+		{1, 0},
+		{1, 1},
+		{1, 2},
+	})
+	y := []float64{0, 1, 0}
+	c, err := LeastSquares(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := func(coef []float64) float64 {
+		v, _ := a.MulVec(coef)
+		var s float64
+		for i := range v {
+			d := v[i] - y[i]
+			s += d * d
+		}
+		return s
+	}
+	base := resid(c)
+	for _, d := range [][]float64{{0.01, 0}, {-0.01, 0}, {0, 0.01}, {0, -0.01}} {
+		perturbed := []float64{c[0] + d[0], c[1] + d[1]}
+		if resid(perturbed) < base-1e-12 {
+			t.Fatalf("perturbation %v improved residual: %g < %g", d, resid(perturbed), base)
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("LeastSquares accepted underdetermined system")
+	}
+	if _, err := LeastSquares(NewMatrix(3, 2), []float64{1, 2}); err == nil {
+		t.Fatal("LeastSquares accepted wrong rhs length")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Identity(2)
+	b := a.Clone()
+	b.Set(0, 0, 5)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(-1, 2) did not panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}

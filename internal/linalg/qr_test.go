@@ -1,0 +1,168 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRMatchesNormalEquationsOnWellConditioned(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 0},
+		{1, 1},
+		{1, 2},
+		{1, 3},
+	})
+	y := []float64{1, 3, 5, 7}
+	xQR, err := LeastSquaresQR(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xNE, err := LeastSquares(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xQR {
+		if math.Abs(xQR[i]-xNE[i]) > 1e-9 {
+			t.Fatalf("QR %v vs normal equations %v", xQR, xNE)
+		}
+	}
+}
+
+func TestQRSquareSystemExact(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := LeastSquaresQR(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestQRResidualOrthogonality(t *testing.T) {
+	// The least-squares residual must be orthogonal to the column space:
+	// aᵀ(a·x − b) = 0.
+	check := func(seed int64) bool {
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(int64(s>>33))/float64(1<<30) - 1
+		}
+		const m, n = 9, 4
+		a := NewMatrix(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, next())
+			}
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = next()
+		}
+		x, err := LeastSquaresQR(a, b)
+		if err != nil {
+			return true // rank-deficient random draw: fine to skip
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		r := make([]float64, m)
+		for i := range r {
+			r[i] = ax[i] - b[i]
+		}
+		atr, err := a.Transpose().MulVec(r)
+		if err != nil {
+			return false
+		}
+		for _, v := range atr {
+			if math.Abs(v) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRBeatsNormalEquationsOnIllConditioned(t *testing.T) {
+	// A raw (unnormalized) Vandermonde basis on x = 0..19 with degree 7 is
+	// brutally ill-conditioned: the normal equations lose most precision or
+	// fail outright, QR keeps the fit usable.
+	const m, deg = 20, 7
+	a := NewMatrix(m, deg+1)
+	truth := []float64{1, -2, 0.5, 0.25, -0.125, 0.0625, -0.03125, 0.015625}
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		x := float64(i)
+		p := 1.0
+		for j := 0; j <= deg; j++ {
+			a.Set(i, j, p)
+			b[i] += truth[j] * p
+			p *= x
+		}
+	}
+	residual := func(x []float64) float64 {
+		ax, _ := a.MulVec(x)
+		var s float64
+		for i := range ax {
+			d := ax[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	xQR, err := LeastSquaresQR(a, b)
+	if err != nil {
+		t.Fatalf("QR failed on ill-conditioned system: %v", err)
+	}
+	rQR := residual(xQR)
+	if rQR > 1e-3 {
+		t.Fatalf("QR residual %g too large", rQR)
+	}
+	if xNE, err := LeastSquares(a, b); err == nil {
+		if rNE := residual(xNE); rQR > rNE*10 {
+			t.Fatalf("QR residual %g much worse than normal equations %g", rQR, rNE)
+		}
+	}
+	// QR must recover the coefficients to reasonable precision.
+	for j := range truth {
+		if math.Abs(xQR[j]-truth[j]) > 1e-4*(1+math.Abs(truth[j])) {
+			t.Fatalf("coefficient %d: QR %.8f, truth %.8f", j, xQR[j], truth[j])
+		}
+	}
+}
+
+func TestQRValidation(t *testing.T) {
+	if _, err := DecomposeQR(NewMatrix(2, 3)); err == nil {
+		t.Error("underdetermined matrix accepted")
+	}
+	if _, err := DecomposeQR(NewMatrix(0, 0)); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	// Rank-deficient: duplicate columns.
+	a, _ := FromRows([][]float64{
+		{1, 1},
+		{2, 2},
+		{3, 3},
+	})
+	if _, err := LeastSquaresQR(a, []float64{1, 2, 3}); err == nil {
+		t.Error("rank-deficient matrix accepted")
+	}
+	q, err := DecomposeQR(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SolveLS([]float64{1, 2}); err == nil {
+		t.Error("wrong rhs length accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+
+	"ropuf/internal/circuit"
+	"ropuf/internal/rngx"
+	"ropuf/internal/silicon"
+)
+
+// Counter models the frequency counter real RO-PUF deployments use: the
+// ring output clocks a counter for a fixed gate window, and the count is
+// quantized to whole edges (±1-count resolution). Longer gates reduce the
+// relative quantization error at the cost of measurement time — the
+// standard accuracy/latency trade-off the Meter abstraction (Gaussian
+// noise) idealizes away.
+type Counter struct {
+	// GatePS is the gate window in picoseconds (e.g. 1e8 ps = 100 µs).
+	GatePS float64
+	// JitterPS is the RMS uncertainty of the gate window edges.
+	JitterPS float64
+
+	rng *rngx.RNG
+}
+
+// NewCounter returns a counter with a 100 µs gate and 50 ps gate jitter.
+func NewCounter(rng *rngx.RNG) *Counter {
+	return &Counter{GatePS: 1e8, JitterPS: 50, rng: rng}
+}
+
+// CountEdges returns the number of full oscillation periods observed in
+// one gate window for the ring under cfg and env.
+func (c *Counter) CountEdges(r *circuit.Ring, cfg circuit.Config, env silicon.Env) (int64, error) {
+	if c.GatePS <= 0 {
+		return 0, fmt.Errorf("measure: gate window must be positive, got %g", c.GatePS)
+	}
+	if c.JitterPS < 0 {
+		return 0, fmt.Errorf("measure: negative jitter %g", c.JitterPS)
+	}
+	period, err := r.PeriodPS(cfg, env)
+	if err != nil {
+		return 0, err
+	}
+	gate := c.GatePS + c.rng.NormMeanStd(0, c.JitterPS)
+	if gate < period {
+		return 0, nil
+	}
+	return int64(gate / period), nil
+}
+
+// FrequencyMHz returns the counter-derived frequency estimate in MHz.
+func (c *Counter) FrequencyMHz(r *circuit.Ring, cfg circuit.Config, env silicon.Env) (float64, error) {
+	edges, err := c.CountEdges(r, cfg, env)
+	if err != nil {
+		return 0, err
+	}
+	// count / gate [1/ps] → ×1e6 → MHz.
+	return float64(edges) / c.GatePS * 1e6, nil
+}
+
+// PeriodPS returns the counter-derived period estimate in picoseconds.
+// A zero edge count (ring slower than the gate) is an error.
+func (c *Counter) PeriodPS(r *circuit.Ring, cfg circuit.Config, env silicon.Env) (float64, error) {
+	edges, err := c.CountEdges(r, cfg, env)
+	if err != nil {
+		return 0, err
+	}
+	if edges == 0 {
+		return 0, fmt.Errorf("measure: gate window %g ps too short for ring period", c.GatePS)
+	}
+	return c.GatePS / float64(edges), nil
+}
+
+// QuantizationErrorPS returns the worst-case period error of a single
+// counter reading for a ring of the given true period: one count out of
+// gate/period counts.
+func (c *Counter) QuantizationErrorPS(truePeriodPS float64) float64 {
+	if c.GatePS <= 0 || truePeriodPS <= 0 {
+		return math.Inf(1)
+	}
+	counts := c.GatePS / truePeriodPS
+	if counts < 1 {
+		return math.Inf(1)
+	}
+	return truePeriodPS / counts * 1 // Δperiod ≈ period/counts per ±1 count
+}

@@ -1,0 +1,153 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"ropuf/internal/circuit"
+	"ropuf/internal/rngx"
+	"ropuf/internal/silicon"
+)
+
+func noiselessCounter(gatePS float64) *Counter {
+	c := NewCounter(rngx.New(7))
+	c.GatePS = gatePS
+	c.JitterPS = 0
+	return c
+}
+
+func TestCounterCountMatchesPeriod(t *testing.T) {
+	r := buildRing(t, 5, 40)
+	cfg := circuit.AllSelected(5)
+	truePeriod, err := r.PeriodPS(cfg, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := noiselessCounter(1e7)
+	edges, err := c.CountEdges(r, cfg, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1e7 / truePeriod)
+	if edges != want {
+		t.Fatalf("edges = %d, want %d", edges, want)
+	}
+}
+
+func TestCounterFrequencyAccuracyImprovesWithGate(t *testing.T) {
+	r := buildRing(t, 5, 41)
+	cfg := circuit.AllSelected(5)
+	truth, err := r.FrequencyMHz(cfg, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errFor := func(gate float64) float64 {
+		c := noiselessCounter(gate)
+		f, err := c.FrequencyMHz(r, cfg, silicon.Nominal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(f - truth)
+	}
+	short := errFor(1e6) // 1 µs
+	long := errFor(1e9)  // 1 ms
+	if long > short {
+		t.Fatalf("longer gate error %.6f MHz worse than shorter %.6f MHz", long, short)
+	}
+	// ±1-count bound: Δf ≤ 1/gate.
+	if short > 1e6/1e6+1e-9 {
+		t.Fatalf("short-gate error %.6f MHz exceeds the 1-count bound", short)
+	}
+}
+
+func TestCounterPeriodEstimate(t *testing.T) {
+	r := buildRing(t, 7, 42)
+	cfg := circuit.AllSelected(7)
+	truth, err := r.PeriodPS(cfg, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := noiselessCounter(1e8)
+	p, err := c.PeriodPS(r, cfg, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr := math.Abs(p-truth) / truth; relErr > 1e-4 {
+		t.Fatalf("period estimate off by %.2e relative", relErr)
+	}
+	if q := c.QuantizationErrorPS(truth); math.Abs(p-truth) > 2*q {
+		t.Fatalf("error %.4f ps exceeds 2x quantization bound %.4f ps", math.Abs(p-truth), q)
+	}
+}
+
+func TestCounterGateTooShort(t *testing.T) {
+	r := buildRing(t, 5, 43)
+	cfg := circuit.AllSelected(5)
+	c := noiselessCounter(10) // 10 ps gate, far below one period
+	edges, err := c.CountEdges(r, cfg, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 0 {
+		t.Fatalf("edges = %d with sub-period gate, want 0", edges)
+	}
+	if _, err := c.PeriodPS(r, cfg, silicon.Nominal); err == nil {
+		t.Fatal("PeriodPS accepted a zero-count measurement")
+	}
+}
+
+func TestCounterValidation(t *testing.T) {
+	r := buildRing(t, 3, 44)
+	cfg := circuit.AllSelected(3)
+	c := NewCounter(rngx.New(1))
+	c.GatePS = 0
+	if _, err := c.CountEdges(r, cfg, silicon.Nominal); err == nil {
+		t.Fatal("zero gate accepted")
+	}
+	c.GatePS = 1e8
+	c.JitterPS = -1
+	if _, err := c.CountEdges(r, cfg, silicon.Nominal); err == nil {
+		t.Fatal("negative jitter accepted")
+	}
+	c.JitterPS = 0
+	if _, err := c.CountEdges(r, circuit.NewConfig(2), silicon.Nominal); err == nil {
+		t.Fatal("wrong config length accepted")
+	}
+}
+
+func TestQuantizationErrorEdgeCases(t *testing.T) {
+	c := noiselessCounter(1e8)
+	if !math.IsInf(c.QuantizationErrorPS(0), 1) {
+		t.Fatal("zero period should give infinite error")
+	}
+	if !math.IsInf(c.QuantizationErrorPS(1e9), 1) {
+		t.Fatal("period beyond gate should give infinite error")
+	}
+	c.GatePS = 0
+	if !math.IsInf(c.QuantizationErrorPS(100), 1) {
+		t.Fatal("zero gate should give infinite error")
+	}
+}
+
+func TestCounterJitterBounded(t *testing.T) {
+	r := buildRing(t, 5, 45)
+	cfg := circuit.AllSelected(5)
+	c := NewCounter(rngx.New(3))
+	c.GatePS = 1e8
+	c.JitterPS = 100
+	truth, err := r.PeriodPS(cfg, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p, err := c.PeriodPS(r, cfg, silicon.Nominal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Jitter of 100 ps over a 1e8 ps gate: relative error ≤ ~1e-5 plus
+		// the quantization term.
+		if math.Abs(p-truth)/truth > 1e-4 {
+			t.Fatalf("iteration %d: error %.2e too large", i, math.Abs(p-truth)/truth)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package measure implements the paper's §III.B inverter-delay measurement
+// scheme: the delay difference ddiff of every stage in a configurable ring
+// is computed from whole-ring period measurements rather than probed
+// directly (a single inverter oscillates far too fast to time).
+//
+// The protocol generalizes the paper's 3-stage example. Let W be the ring's
+// measured half-period with the all-zero (all bypass) configuration, and
+// let M_i be the half-period with every stage selected except stage i.
+// Then, writing A_i = M_i − W and D = Σ_j ddiff_j:
+//
+//	A_i = D − ddiff_i            (every ddiff contributes except stage i's)
+//	Σ A_i = (n − 1) · D   ⇒   D = Σ A_i / (n − 1)
+//	ddiff_i = D − A_i
+//
+// For n = 3 this reduces exactly to the paper's formulas
+// ddiff_1 = (X+Y−Z)/2, ddiff_2 = (X+Z−Y)/2, ddiff_3 = (Y+Z−X)/2
+// (the paper's X, Y, Z are our A_i re-indexed).
+//
+// Real measurements carry counter/jitter noise; Meter models it as additive
+// Gaussian noise on each half-period observation, averaged over Repeats
+// samples per configuration.
+package measure
+
+import (
+	"fmt"
+
+	"ropuf/internal/circuit"
+	"ropuf/internal/rngx"
+	"ropuf/internal/silicon"
+)
+
+// Meter measures ring periods under a fixed environment with Gaussian
+// timing noise.
+type Meter struct {
+	// Env is the measurement environment (supply voltage, temperature).
+	Env silicon.Env
+
+	// NoisePS is the standard deviation of a single half-period
+	// observation's error, in picoseconds. Frequency counters gated over
+	// many cycles achieve sub-picosecond effective resolution; the default
+	// in NewMeter reflects that.
+	NoisePS float64
+
+	// Repeats is how many observations are averaged per configuration.
+	Repeats int
+
+	rng *rngx.RNG
+}
+
+// NewMeter returns a Meter with the given environment, 0.5 ps single-shot
+// noise and 5 repeats, drawing noise from rng.
+func NewMeter(env silicon.Env, rng *rngx.RNG) *Meter {
+	return &Meter{Env: env, NoisePS: 0.5, Repeats: 5, rng: rng}
+}
+
+// HalfPeriodPS returns a noisy measurement of the ring's one-way loop delay
+// under cfg: the true value plus the average of Repeats Gaussian error
+// samples.
+func (m *Meter) HalfPeriodPS(r *circuit.Ring, cfg circuit.Config) (float64, error) {
+	truth, err := r.HalfPeriodPS(cfg, m.Env)
+	if err != nil {
+		return 0, err
+	}
+	if m.Repeats <= 0 {
+		return 0, fmt.Errorf("measure: Repeats must be positive, got %d", m.Repeats)
+	}
+	var noise float64
+	for i := 0; i < m.Repeats; i++ {
+		noise += m.rng.NormMeanStd(0, m.NoisePS)
+	}
+	return truth + noise/float64(m.Repeats), nil
+}
+
+// Ddiffs runs the leave-one-out protocol on ring r and returns the
+// estimated per-stage delay differences in picoseconds.
+//
+// It performs n+1 ring measurements: the all-zero baseline plus one
+// leave-one-out configuration per stage. Rings with a single stage are
+// measured directly (selected minus baseline).
+func (m *Meter) Ddiffs(r *circuit.Ring) ([]float64, error) {
+	n := r.NumStages()
+	if n == 0 {
+		return nil, fmt.Errorf("measure: ring has no stages")
+	}
+	baseline, err := m.HalfPeriodPS(r, circuit.NewConfig(n))
+	if err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		sel, err := m.HalfPeriodPS(r, circuit.AllSelected(1))
+		if err != nil {
+			return nil, err
+		}
+		return []float64{sel - baseline}, nil
+	}
+	a := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		cfg := circuit.AllSelected(n)
+		cfg[i] = false
+		mi, err := m.HalfPeriodPS(r, cfg)
+		if err != nil {
+			return nil, err
+		}
+		a[i] = mi - baseline
+		sum += a[i]
+	}
+	d := sum / float64(n-1)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d - a[i]
+	}
+	return out, nil
+}
+
+// DdiffsSingleton estimates each stage's ddiff by measuring the ring with
+// only that stage selected and subtracting the all-zero baseline. It uses
+// the same number of measurements as Ddiffs but does not share error across
+// stages; the leave-one-out protocol averages noise over n observations and
+// is therefore more accurate for the *sum* structure the selection
+// algorithms consume. Exposed for the measurement-ablation benchmark.
+func (m *Meter) DdiffsSingleton(r *circuit.Ring) ([]float64, error) {
+	n := r.NumStages()
+	if n == 0 {
+		return nil, fmt.Errorf("measure: ring has no stages")
+	}
+	baseline, err := m.HalfPeriodPS(r, circuit.NewConfig(n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cfg := circuit.NewConfig(n)
+		cfg[i] = true
+		mi, err := m.HalfPeriodPS(r, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = mi - baseline
+	}
+	return out, nil
+}
+
+// PairDdiffs measures both rings of a PUF pair and returns their estimated
+// per-stage delay differences (alpha for the top ring, beta for the bottom
+// ring), as consumed by the selection algorithms in package core.
+func (m *Meter) PairDdiffs(top, bottom *circuit.Ring) (alpha, beta []float64, err error) {
+	if top.NumStages() != bottom.NumStages() {
+		return nil, nil, fmt.Errorf("measure: ring pair stage counts differ (%d vs %d)",
+			top.NumStages(), bottom.NumStages())
+	}
+	alpha, err = m.Ddiffs(top)
+	if err != nil {
+		return nil, nil, fmt.Errorf("measure: top ring: %w", err)
+	}
+	beta, err = m.Ddiffs(bottom)
+	if err != nil {
+		return nil, nil, fmt.Errorf("measure: bottom ring: %w", err)
+	}
+	return alpha, beta, nil
+}

@@ -1,0 +1,100 @@
+package nist
+
+import (
+	"testing"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/rngx"
+)
+
+func benchStream(n int) *bits.Stream {
+	r := rngx.New(uint64(n))
+	s := bits.New(n)
+	for i := 0; i < n; i++ {
+		s.Append(r.Bool())
+	}
+	return s
+}
+
+func benchComplex(n int) []complex128 {
+	r := rngx.New(uint64(n))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.Norm(), r.Norm())
+	}
+	return x
+}
+
+func BenchmarkFFTPow2_1024(b *testing.B) {
+	x := benchComplex(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein_1000(b *testing.B) {
+	x := benchComplex(1000) // non-power-of-two: Bluestein path
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkBerlekampMassey500(b *testing.B) {
+	s := benchStream(500)
+	block := make([]bool, 500)
+	for i := range block {
+		block[i] = s.Bit(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BerlekampMassey(block)
+	}
+}
+
+func BenchmarkBinaryRank(b *testing.B) {
+	r := rngx.New(9)
+	rows := make([]uint32, 32)
+	for i := range rows {
+		rows[i] = uint32(r.Uint64())
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BinaryRank(rows)
+	}
+}
+
+func benchTest(b *testing.B, t Test, n int) {
+	b.Helper()
+	s := benchStream(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrequency10k(b *testing.B)      { benchTest(b, FrequencyTest(), 10_000) }
+func BenchmarkRuns10k(b *testing.B)           { benchTest(b, RunsTest(), 10_000) }
+func BenchmarkCumulativeSums10k(b *testing.B) { benchTest(b, CumulativeSumsTest(), 10_000) }
+func BenchmarkLongestRun10k(b *testing.B)     { benchTest(b, LongestRunTest(), 10_000) }
+func BenchmarkDFT10k(b *testing.B)            { benchTest(b, DFTTest(), 10_000) }
+func BenchmarkSerial10k(b *testing.B)         { benchTest(b, SerialTest(5), 10_000) }
+func BenchmarkApEn10k(b *testing.B)           { benchTest(b, ApproximateEntropyTest(5), 10_000) }
+func BenchmarkLinearComplexity10k(b *testing.B) {
+	benchTest(b, LinearComplexityTest(500), 10_000)
+}
+
+func BenchmarkStandardSuite100k(b *testing.B) {
+	s := benchStream(100_000)
+	suite := StandardSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAll(s, suite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/stats"
+)
+
+// BerlekampMassey returns the linear complexity of the bit block: the
+// length of the shortest LFSR generating it.
+func BerlekampMassey(block []bool) int {
+	n := len(block)
+	b := make([]bool, n)
+	c := make([]bool, n)
+	t := make([]bool, n)
+	if n == 0 {
+		return 0
+	}
+	b[0], c[0] = true, true
+	l, m := 0, -1
+	for nn := 0; nn < n; nn++ {
+		// Discrepancy d = s[nn] + Σ c[i]·s[nn−i] over GF(2).
+		d := block[nn]
+		for i := 1; i <= l; i++ {
+			if c[i] && block[nn-i] {
+				d = !d
+			}
+		}
+		if d {
+			copy(t, c)
+			for i := 0; nn-m+i < n && i < n; i++ {
+				if b[i] {
+					c[nn-m+i] = !c[nn-m+i]
+				}
+			}
+			if l <= nn/2 {
+				l = nn + 1 - l
+				m = nn
+				copy(b, t)
+			}
+		}
+	}
+	return l
+}
+
+// LinearComplexityTest returns the linear complexity test (§2.10) with
+// block size m: the distribution of per-block Berlekamp–Massey complexity
+// should match the theoretical one.
+func LinearComplexityTest(m int) Test {
+	// Category probabilities for the seven-bin classification of T (§3.10).
+	pi := []float64{0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833}
+	return Test{
+		Name:    fmt.Sprintf("LinearComplexity(M=%d)", m),
+		MinBits: 20 * m,
+		Run: func(s *bits.Stream) ([]PV, error) {
+			n := s.Len()
+			nBlocks := n / m
+			if nBlocks == 0 {
+				return nil, fmt.Errorf("%w: linear complexity needs at least %d bits", ErrTooShort, m)
+			}
+			sign := 1.0
+			if m%2 == 1 {
+				sign = -1.0
+			}
+			mu := float64(m)/2 + (9+(-sign))/36 - (float64(m)/3+2.0/9)/math.Pow(2, float64(m))
+			counts := make([]int, 7)
+			block := make([]bool, m)
+			for b := 0; b < nBlocks; b++ {
+				for i := 0; i < m; i++ {
+					block[i] = s.Bit(b*m + i)
+				}
+				l := BerlekampMassey(block)
+				t := sign*(float64(l)-mu) + 2.0/9
+				switch {
+				case t <= -2.5:
+					counts[0]++
+				case t <= -1.5:
+					counts[1]++
+				case t <= -0.5:
+					counts[2]++
+				case t <= 0.5:
+					counts[3]++
+				case t <= 1.5:
+					counts[4]++
+				case t <= 2.5:
+					counts[5]++
+				default:
+					counts[6]++
+				}
+			}
+			var chi2 float64
+			for i, c := range counts {
+				exp := float64(nBlocks) * pi[i]
+				d := float64(c) - exp
+				chi2 += d * d / exp
+			}
+			p := stats.Igamc(3, chi2/2)
+			return []PV{{P: p}}, nil
+		},
+	}
+}

@@ -1,0 +1,102 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/stats"
+)
+
+// patternCounts counts occurrences of every m-bit pattern in s read
+// cyclically (the sequence is extended by its own first m−1 bits), as both
+// the approximate entropy and serial tests require. m = 0 returns a single
+// count equal to n.
+func patternCounts(s *bits.Stream, m int) []int {
+	n := s.Len()
+	if m == 0 {
+		return []int{n}
+	}
+	counts := make([]int, 1<<uint(m))
+	mask := (1 << uint(m)) - 1
+	// Seed the rolling window with the first m−1 bits.
+	window := 0
+	for i := 0; i < m-1; i++ {
+		window = window<<1 | s.Int(i%n)
+	}
+	for i := 0; i < n; i++ {
+		window = (window<<1 | s.Int((i+m-1)%n)) & mask
+		counts[window]++
+	}
+	return counts
+}
+
+// ApproximateEntropyTest returns the approximate entropy test (§2.12) with
+// pattern length m: compares the frequency of overlapping m-bit and
+// (m+1)-bit patterns.
+func ApproximateEntropyTest(m int) Test {
+	return Test{
+		Name:    fmt.Sprintf("ApproximateEntropy(m=%d)", m),
+		MinBits: 1 << uint(m+4),
+		Run: func(s *bits.Stream) ([]PV, error) {
+			n := s.Len()
+			if n < m+2 {
+				return nil, fmt.Errorf("%w: approximate entropy with m=%d needs at least %d bits", ErrTooShort, m, m+2)
+			}
+			phi := func(mm int) float64 {
+				counts := patternCounts(s, mm)
+				var sum float64
+				for _, c := range counts {
+					if c > 0 {
+						f := float64(c) / float64(n)
+						sum += f * math.Log(f)
+					}
+				}
+				return sum
+			}
+			apen := phi(m) - phi(m+1)
+			chi2 := 2 * float64(n) * (math.Ln2 - apen)
+			p := stats.Igamc(math.Pow(2, float64(m-1)), chi2/2)
+			return []PV{{P: p}}, nil
+		},
+	}
+}
+
+// SerialTest returns the serial test (§2.11) with pattern length m: the
+// frequencies of all m-bit overlapping patterns should be uniform. Produces
+// the standard two p-values (∇ψ²m and ∇²ψ²m).
+func SerialTest(m int) Test {
+	return Test{
+		Name:    fmt.Sprintf("Serial(m=%d)", m),
+		MinBits: 1 << uint(m+3),
+		Run: func(s *bits.Stream) ([]PV, error) {
+			n := s.Len()
+			if m < 2 {
+				return nil, fmt.Errorf("nist: serial needs m >= 2, got %d", m)
+			}
+			if n < m+2 {
+				return nil, fmt.Errorf("%w: serial with m=%d needs at least %d bits", ErrTooShort, m, m+2)
+			}
+			psi2 := func(mm int) float64 {
+				if mm <= 0 {
+					return 0
+				}
+				counts := patternCounts(s, mm)
+				var ss float64
+				for _, c := range counts {
+					ss += float64(c) * float64(c)
+				}
+				return ss*math.Pow(2, float64(mm))/float64(n) - float64(n)
+			}
+			pm, pm1, pm2 := psi2(m), psi2(m-1), psi2(m-2)
+			d1 := pm - pm1
+			d2 := pm - 2*pm1 + pm2
+			p1 := stats.Igamc(math.Pow(2, float64(m-2)), d1/2)
+			p2 := stats.Igamc(math.Pow(2, float64(m-3)), d2/2)
+			return []PV{
+				{Label: "del1", P: p1},
+				{Label: "del2", P: p2},
+			}, nil
+		},
+	}
+}

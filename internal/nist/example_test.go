@@ -1,0 +1,41 @@
+package nist_test
+
+import (
+	"fmt"
+	"log"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/nist"
+)
+
+func ExampleFrequencyTest() {
+	// The spec's §2.1.8 example sequence.
+	s := bits.MustFromString("1011010101")
+	pvs, err := nist.FrequencyTest().Run(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("p=%.6f pass=%v\n", pvs[0].P, pvs[0].Pass())
+	// Output:
+	// p=0.527089 pass=true
+}
+
+func ExampleMinPassCount() {
+	// The paper quotes this threshold for its Tables I and II.
+	fmt.Println(nist.MinPassCount(97))
+	// Output:
+	// 93
+}
+
+func ExampleBerlekampMassey() {
+	// An m-sequence from the primitive polynomial x⁴+x+1 has linear
+	// complexity 4 no matter how much of it the attacker sees.
+	seq := make([]bool, 30)
+	seq[0] = true
+	for i := 4; i < len(seq); i++ {
+		seq[i] = seq[i-3] != seq[i-4]
+	}
+	fmt.Println(nist.BerlekampMassey(seq))
+	// Output:
+	// 4
+}

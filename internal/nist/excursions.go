@@ -1,0 +1,164 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/stats"
+)
+
+// randomWalk builds the cumulative ±1 walk S₁..Sₙ and returns it together
+// with the number of zero-anchored cycles J (the walk is bracketed by
+// implicit zeros).
+func randomWalk(s *bits.Stream) (walk []int, cycles int) {
+	n := s.Len()
+	walk = make([]int, n)
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += 2*s.Int(i) - 1
+		walk[i] = sum
+		if sum == 0 {
+			cycles++
+		}
+	}
+	if n == 0 || walk[n-1] != 0 {
+		cycles++ // the final partial cycle is closed by the appended zero
+	}
+	return walk, cycles
+}
+
+// minCycles is the spec's applicability constraint on the number of
+// zero-crossing cycles.
+func minCycles(n int) float64 {
+	return math.Max(0.005*math.Sqrt(float64(n)), 500)
+}
+
+// RandomExcursionsTest returns the random excursions test (§2.14): for each
+// state x ∈ {−4..−1, 1..4}, the number of visits per zero-crossing cycle is
+// compared against the theoretical distribution. Eight labelled p-values.
+func RandomExcursionsTest() Test {
+	return Test{
+		Name:    "RandomExcursions",
+		MinBits: 1 << 20, // spec recommends n >= 10^6
+		Run: func(s *bits.Stream) ([]PV, error) {
+			return RandomExcursionsPValues(s, true)
+		},
+	}
+}
+
+// RandomExcursionsPValues computes the §2.14 p-values. enforceMinCycles
+// applies the spec's J >= max(0.005·√n, 500) applicability constraint;
+// tests against the spec's small worked example disable it.
+func RandomExcursionsPValues(s *bits.Stream, enforceMinCycles bool) ([]PV, error) {
+	states := []int{-4, -3, -2, -1, 1, 2, 3, 4}
+	n := s.Len()
+	if n < 8 {
+		return nil, fmt.Errorf("%w: random excursions needs at least 8 bits", ErrTooShort)
+	}
+	walk, j := randomWalk(s)
+	if enforceMinCycles && float64(j) < minCycles(n) {
+		// Too few cycles for the asymptotic distribution; the reference
+		// implementation reports the sequence as non-applicable. We surface
+		// that as an error the caller can treat as "skip".
+		return nil, fmt.Errorf("%w: only %d cycles, need >= max(0.005*sqrt(n), 500)", ErrTooShort, j)
+	}
+	// visits[state][k] = number of cycles during which the state was
+	// visited exactly k times (k capped at 5).
+	visits := map[int][6]int{}
+	cur := map[int]int{}
+	flush := func() {
+		for _, x := range states {
+			k := cur[x]
+			if k > 5 {
+				k = 5
+			}
+			v := visits[x]
+			v[k]++
+			visits[x] = v
+		}
+		cur = map[int]int{}
+	}
+	for _, v := range walk {
+		if v == 0 {
+			flush()
+			continue
+		}
+		if v >= -4 && v <= 4 {
+			cur[v]++
+		}
+	}
+	if len(walk) == 0 || walk[len(walk)-1] != 0 {
+		flush()
+	}
+	var pvs []PV
+	for _, x := range states {
+		pi := excursionProbs(x)
+		v := visits[x]
+		var chi2 float64
+		for k := 0; k <= 5; k++ {
+			exp := float64(j) * pi[k]
+			d := float64(v[k]) - exp
+			chi2 += d * d / exp
+		}
+		p := stats.Igamc(5.0/2.0, chi2/2)
+		pvs = append(pvs, PV{Label: fmt.Sprintf("x=%+d", x), P: p})
+	}
+	return pvs, nil
+}
+
+// excursionProbs returns π_k(x) for k = 0..5 (§3.14).
+func excursionProbs(x int) [6]float64 {
+	ax := math.Abs(float64(x))
+	var pi [6]float64
+	pi[0] = 1 - 1/(2*ax)
+	for k := 1; k <= 4; k++ {
+		pi[k] = 1 / (4 * ax * ax) * math.Pow(1-1/(2*ax), float64(k-1))
+	}
+	pi[5] = 1 / (2 * ax) * math.Pow(1-1/(2*ax), 4)
+	return pi
+}
+
+// RandomExcursionsVariantTest returns the random excursions variant test
+// (§2.15): the total number of visits to each state x ∈ {−9..9}\{0} across
+// the whole walk. Eighteen labelled p-values.
+func RandomExcursionsVariantTest() Test {
+	return Test{
+		Name:    "RandomExcursionsVariant",
+		MinBits: 1 << 20,
+		Run: func(s *bits.Stream) ([]PV, error) {
+			return RandomExcursionsVariantPValues(s, true)
+		},
+	}
+}
+
+// RandomExcursionsVariantPValues computes the §2.15 p-values, optionally
+// skipping the minimum-cycle applicability constraint (for the spec's small
+// worked example).
+func RandomExcursionsVariantPValues(s *bits.Stream, enforceMinCycles bool) ([]PV, error) {
+	n := s.Len()
+	if n < 8 {
+		return nil, fmt.Errorf("%w: random excursions variant needs at least 8 bits", ErrTooShort)
+	}
+	walk, j := randomWalk(s)
+	if enforceMinCycles && float64(j) < minCycles(n) {
+		return nil, fmt.Errorf("%w: only %d cycles, need >= max(0.005*sqrt(n), 500)", ErrTooShort, j)
+	}
+	counts := map[int]int{}
+	for _, v := range walk {
+		if v >= -9 && v <= 9 && v != 0 {
+			counts[v]++
+		}
+	}
+	var pvs []PV
+	for x := -9; x <= 9; x++ {
+		if x == 0 {
+			continue
+		}
+		xi := float64(counts[x])
+		denom := math.Sqrt(2 * float64(j) * (4*math.Abs(float64(x)) - 2))
+		p := stats.Erfc(math.Abs(xi-float64(j)) / denom)
+		pvs = append(pvs, PV{Label: fmt.Sprintf("x=%+d", x), P: p})
+	}
+	return pvs, nil
+}

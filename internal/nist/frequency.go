@@ -1,0 +1,238 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/stats"
+)
+
+// FrequencyTest returns the monobit frequency test (SP 800-22 §2.1): the
+// proportion of ones should be close to 1/2.
+func FrequencyTest() Test {
+	return Test{
+		Name:    "Frequency",
+		MinBits: 32,
+		Run: func(s *bits.Stream) ([]PV, error) {
+			n := s.Len()
+			if n == 0 {
+				return nil, fmt.Errorf("%w: frequency needs at least 1 bit", ErrTooShort)
+			}
+			// S_n = Σ (2·bit − 1)
+			sum := 2*s.OnesCount() - n
+			sObs := math.Abs(float64(sum)) / math.Sqrt(float64(n))
+			p := stats.Erfc(sObs / math.Sqrt2)
+			return []PV{{P: p}}, nil
+		},
+	}
+}
+
+// BlockFrequencyTest returns the block frequency test (§2.2) with block
+// size m: the proportion of ones within each m-bit block should be close
+// to 1/2.
+func BlockFrequencyTest(m int) Test {
+	return Test{
+		Name:    fmt.Sprintf("BlockFrequency(M=%d)", m),
+		MinBits: m,
+		Run: func(s *bits.Stream) ([]PV, error) {
+			n := s.Len()
+			if m <= 0 {
+				return nil, fmt.Errorf("nist: block frequency block size must be positive, got %d", m)
+			}
+			nBlocks := n / m
+			if nBlocks == 0 {
+				return nil, fmt.Errorf("%w: block frequency needs at least one %d-bit block", ErrTooShort, m)
+			}
+			var chi2 float64
+			for b := 0; b < nBlocks; b++ {
+				ones := 0
+				for i := 0; i < m; i++ {
+					ones += s.Int(b*m + i)
+				}
+				pi := float64(ones) / float64(m)
+				d := pi - 0.5
+				chi2 += d * d
+			}
+			chi2 *= 4 * float64(m)
+			p := stats.Igamc(float64(nBlocks)/2, chi2/2)
+			return []PV{{P: p}}, nil
+		},
+	}
+}
+
+// RunsTest returns the runs test (§2.3): the number of maximal runs of
+// identical bits should match the expectation for a random sequence.
+func RunsTest() Test {
+	return Test{
+		Name:    "Runs",
+		MinBits: 32,
+		Run: func(s *bits.Stream) ([]PV, error) {
+			n := s.Len()
+			if n < 2 {
+				return nil, fmt.Errorf("%w: runs needs at least 2 bits", ErrTooShort)
+			}
+			pi := float64(s.OnesCount()) / float64(n)
+			// Prerequisite frequency check; failure yields p = 0 per spec.
+			if math.Abs(pi-0.5) >= 2/math.Sqrt(float64(n)) {
+				return []PV{{P: 0}}, nil
+			}
+			vObs := 1
+			for i := 0; i < n-1; i++ {
+				if s.Bit(i) != s.Bit(i+1) {
+					vObs++
+				}
+			}
+			num := math.Abs(float64(vObs) - 2*float64(n)*pi*(1-pi))
+			den := 2 * math.Sqrt(2*float64(n)) * pi * (1 - pi)
+			p := stats.Erfc(num / den)
+			return []PV{{P: p}}, nil
+		},
+	}
+}
+
+// longestRunParams maps input length to the spec's block size, category
+// count and category probabilities (§2.4, tables 2.4.2/2.4.4).
+type longestRunParams struct {
+	m   int // block size
+	k   int // categories − 1
+	vLo int // runs <= vLo collapse into the first category
+	pi  []float64
+}
+
+func longestRunFor(n int) (longestRunParams, error) {
+	switch {
+	case n >= 750000:
+		return longestRunParams{m: 10000, k: 6, vLo: 10,
+			pi: []float64{0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727}}, nil
+	case n >= 6272:
+		return longestRunParams{m: 128, k: 5, vLo: 4,
+			pi: []float64{0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124}}, nil
+	case n >= 128:
+		return longestRunParams{m: 8, k: 3, vLo: 1,
+			pi: []float64{0.2148, 0.3672, 0.2305, 0.1875}}, nil
+	default:
+		return longestRunParams{}, fmt.Errorf("%w: longest-run needs at least 128 bits, have %d", ErrTooShort, n)
+	}
+}
+
+// LongestRunTest returns the longest-run-of-ones test (§2.4).
+func LongestRunTest() Test {
+	return Test{
+		Name:    "LongestRun",
+		MinBits: 128,
+		Run: func(s *bits.Stream) ([]PV, error) {
+			n := s.Len()
+			prm, err := longestRunFor(n)
+			if err != nil {
+				return nil, err
+			}
+			nBlocks := n / prm.m
+			counts := make([]int, prm.k+1)
+			for b := 0; b < nBlocks; b++ {
+				longest, run := 0, 0
+				for i := 0; i < prm.m; i++ {
+					if s.Bit(b*prm.m + i) {
+						run++
+						if run > longest {
+							longest = run
+						}
+					} else {
+						run = 0
+					}
+				}
+				cat := longest - prm.vLo
+				if cat < 0 {
+					cat = 0
+				}
+				if cat > prm.k {
+					cat = prm.k
+				}
+				counts[cat]++
+			}
+			var chi2 float64
+			for i, c := range counts {
+				exp := float64(nBlocks) * prm.pi[i]
+				d := float64(c) - exp
+				chi2 += d * d / exp
+			}
+			p := stats.Igamc(float64(prm.k)/2, chi2/2)
+			return []PV{{P: p}}, nil
+		},
+	}
+}
+
+// CumulativeSumsTest returns the cumulative sums test (§2.13) in both the
+// forward and backward directions.
+func CumulativeSumsTest() Test {
+	return Test{
+		Name:    "CumulativeSums",
+		MinBits: 32,
+		Run: func(s *bits.Stream) ([]PV, error) {
+			n := s.Len()
+			if n == 0 {
+				return nil, fmt.Errorf("%w: cusum needs at least 1 bit", ErrTooShort)
+			}
+			maxPartial := func(forward bool) int {
+				sum, maxAbs := 0, 0
+				for i := 0; i < n; i++ {
+					idx := i
+					if !forward {
+						idx = n - 1 - i
+					}
+					sum += 2*s.Int(idx) - 1
+					if a := abs(sum); a > maxAbs {
+						maxAbs = a
+					}
+				}
+				return maxAbs
+			}
+			p := func(z int) float64 {
+				if z == 0 {
+					return 0
+				}
+				fn := float64(n)
+				fz := float64(z)
+				sqn := math.Sqrt(fn)
+				var sum1, sum2 float64
+				lo1 := int(math.Floor((-fn/fz + 1) / 4))
+				hi1 := int(math.Floor((fn/fz - 1) / 4))
+				for k := lo1; k <= hi1; k++ {
+					fk := float64(k)
+					sum1 += stats.NormalCDF((4*fk+1)*fz/sqn) -
+						stats.NormalCDF((4*fk-1)*fz/sqn)
+				}
+				lo2 := int(math.Floor((-fn/fz - 3) / 4))
+				hi2 := int(math.Floor((fn/fz - 1) / 4))
+				for k := lo2; k <= hi2; k++ {
+					fk := float64(k)
+					sum2 += stats.NormalCDF((4*fk+3)*fz/sqn) -
+						stats.NormalCDF((4*fk+1)*fz/sqn)
+				}
+				return 1 - sum1 + sum2
+			}
+			return []PV{
+				{Label: "forward", P: clampP(p(maxPartial(true)))},
+				{Label: "backward", P: clampP(p(maxPartial(false)))},
+			}, nil
+		},
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// clampP keeps numerically computed p-values inside [0, 1].
+func clampP(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,38 @@
+package nist
+
+import (
+	"math"
+	"testing"
+
+	"ropuf/internal/bits"
+)
+
+// FuzzShortSuite feeds arbitrary byte strings as bit sequences through the
+// short suite: no test may panic or emit a p-value outside [0, 1].
+func FuzzShortSuite(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("hello world, this is a seed with mixed bits"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := bits.New(len(data) * 8)
+		for _, b := range data {
+			for i := 0; i < 8; i++ {
+				s.Append(b>>uint(i)&1 == 1)
+			}
+		}
+		if s.Len() == 0 {
+			return
+		}
+		results, err := RunAll(s, ShortSuite(s.Len()))
+		if err != nil {
+			t.Fatalf("suite error on %d bits: %v", s.Len(), err)
+		}
+		for _, res := range results {
+			for _, pv := range res.PVs {
+				if pv.P < 0 || pv.P > 1 || math.IsNaN(pv.P) {
+					t.Fatalf("%s %s: p=%v out of range", res.Test, pv.Label, pv.P)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package nist
+
+// Invariance properties of the statistical tests: transformations of the
+// input with known effects on the statistics.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/rngx"
+)
+
+func complementOf(s *bits.Stream) *bits.Stream {
+	out := bits.New(s.Len())
+	for i := 0; i < s.Len(); i++ {
+		out.Append(!s.Bit(i))
+	}
+	return out
+}
+
+func reverseOf(s *bits.Stream) *bits.Stream {
+	out := bits.New(s.Len())
+	for i := s.Len() - 1; i >= 0; i-- {
+		out.Append(s.Bit(i))
+	}
+	return out
+}
+
+func quickStream(seed uint64, n int) *bits.Stream {
+	r := rngx.New(seed)
+	s := bits.New(n)
+	for i := 0; i < n; i++ {
+		s.Append(r.Bool())
+	}
+	return s
+}
+
+func pvClose(a, b []PV) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i].P-b[i].P) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFrequencyComplementInvariant(t *testing.T) {
+	// |S_n| is unchanged when every bit flips.
+	check := func(seed uint64) bool {
+		s := quickStream(seed, 256)
+		a, err1 := FrequencyTest().Run(s)
+		b, err2 := FrequencyTest().Run(complementOf(s))
+		return err1 == nil && err2 == nil && pvClose(a, b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunsComplementInvariant(t *testing.T) {
+	// The number of runs is identical for a sequence and its complement.
+	check := func(seed uint64) bool {
+		s := quickStream(seed, 256)
+		a, err1 := RunsTest().Run(s)
+		b, err2 := RunsTest().Run(complementOf(s))
+		return err1 == nil && err2 == nil && pvClose(a, b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunsReverseInvariant(t *testing.T) {
+	check := func(seed uint64) bool {
+		s := quickStream(seed, 256)
+		a, err1 := RunsTest().Run(s)
+		b, err2 := RunsTest().Run(reverseOf(s))
+		return err1 == nil && err2 == nil && pvClose(a, b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCusumReversalSwapsDirections(t *testing.T) {
+	// The forward cusum statistic of the reversed sequence is the backward
+	// statistic of the original.
+	check := func(seed uint64) bool {
+		s := quickStream(seed, 256)
+		a, err1 := CumulativeSumsTest().Run(s)
+		b, err2 := CumulativeSumsTest().Run(reverseOf(s))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a[0].P-b[1].P) < 1e-9 && math.Abs(a[1].P-b[0].P) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialCyclicShiftInvariant(t *testing.T) {
+	// Serial counts patterns cyclically, so any rotation preserves them.
+	check := func(seed uint64, shiftSel uint8) bool {
+		s := quickStream(seed, 200)
+		shift := int(shiftSel) % s.Len()
+		rot := bits.New(s.Len())
+		for i := 0; i < s.Len(); i++ {
+			rot.Append(s.Bit((i + shift) % s.Len()))
+		}
+		a, err1 := SerialTest(3).Run(s)
+		b, err2 := SerialTest(3).Run(rot)
+		return err1 == nil && err2 == nil && pvClose(a, b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproximateEntropyComplementInvariant(t *testing.T) {
+	// Pattern-frequency entropy is invariant under global complement
+	// (pattern histogram is permuted, entropy unchanged).
+	check := func(seed uint64) bool {
+		s := quickStream(seed, 200)
+		a, err1 := ApproximateEntropyTest(2).Run(s)
+		b, err2 := ApproximateEntropyTest(2).Run(complementOf(s))
+		return err1 == nil && err2 == nil && pvClose(a, b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDFTComplementInvariant(t *testing.T) {
+	// Complementing flips the sign of every ±1 sample; magnitudes of the
+	// spectrum are unchanged.
+	check := func(seed uint64) bool {
+		s := quickStream(seed, 128)
+		a, err1 := DFTTest().Run(s)
+		b, err2 := DFTTest().Run(complementOf(s))
+		return err1 == nil && err2 == nil && pvClose(a, b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternCountsSumToN(t *testing.T) {
+	check := func(seed uint64, mSel uint8) bool {
+		n := 64 + int(seed%128)
+		m := 1 + int(mSel%6)
+		s := quickStream(seed, n)
+		counts := patternCounts(s, m)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

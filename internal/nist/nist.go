@@ -1,0 +1,267 @@
+// Package nist implements the NIST SP 800-22 (rev 1a) statistical test
+// suite for random and pseudorandom number generators, from scratch on the
+// standard library. The paper validates its PUF output bits by running this
+// suite (Tables I and II); package experiments reproduces those tables with
+// this implementation.
+//
+// All fifteen tests are provided. Each test reports one or more p-values;
+// by NIST convention a sequence passes a (sub-)test when p ≥ 0.01. The
+// Report type aggregates many sequences into the reference suite's
+// final-analysis table: a ten-bin p-value histogram (C1..C10), a p-value
+// uniformity p-value (P-VALUE column) and the count of passing sequences
+// (PROPORTION column).
+package nist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/stats"
+)
+
+// Alpha is the significance level of the suite: p-values below it fail.
+const Alpha = 0.01
+
+// PV is one named p-value produced by a test. Tests with a single p-value
+// leave Label empty.
+type PV struct {
+	Label string
+	P     float64
+}
+
+// Pass reports whether the p-value meets the significance level.
+func (p PV) Pass() bool { return p.P >= Alpha }
+
+// ErrTooShort is wrapped by tests whose input is shorter than the minimum
+// they can process at all (distinct from NIST's *recommended* lengths,
+// which Test.MinBits captures).
+var ErrTooShort = errors.New("nist: input sequence too short")
+
+// Test is a named, parameterized test ready to run on a stream.
+type Test struct {
+	// Name identifies the test (and parameterization) in reports.
+	Name string
+	// MinBits is the smallest input length the parameterization supports;
+	// RunReport skips shorter streams' tests rather than failing.
+	MinBits int
+	// Run executes the test.
+	Run func(s *bits.Stream) ([]PV, error)
+}
+
+// StandardSuite returns the full fifteen-test suite parameterized with the
+// SP 800-22 defaults, suitable for sequences of at least ~1M bits.
+func StandardSuite() []Test {
+	return []Test{
+		FrequencyTest(),
+		BlockFrequencyTest(128),
+		CumulativeSumsTest(),
+		RunsTest(),
+		LongestRunTest(),
+		RankTest(),
+		DFTTest(),
+		NonOverlappingTemplateTest(9),
+		OverlappingTemplateTest(9),
+		UniversalTest(),
+		ApproximateEntropyTest(10),
+		SerialTest(16),
+		LinearComplexityTest(500),
+		RandomExcursionsTest(),
+		RandomExcursionsVariantTest(),
+	}
+}
+
+// ShortSuite returns the subset of tests that remain statistically
+// meaningful on short sequences (the paper's streams are 96 bits), with
+// parameters scaled down accordingly.
+func ShortSuite(n int) []Test {
+	var ts []Test
+	ts = append(ts, FrequencyTest(), CumulativeSumsTest(), RunsTest())
+	if n >= 64 {
+		ts = append(ts, BlockFrequencyTest(8))
+	}
+	if n >= 64 {
+		ts = append(ts, SerialTest(3), ApproximateEntropyTest(2))
+	}
+	if n >= 64 {
+		ts = append(ts, DFTTest())
+	}
+	if n >= 128 {
+		ts = append(ts, LongestRunTest())
+	}
+	return ts
+}
+
+// Result couples a test name with its p-values for one stream.
+type Result struct {
+	Test string
+	PVs  []PV
+}
+
+// RunAll executes every applicable test in suite on s, skipping tests whose
+// MinBits exceeds the stream length.
+func RunAll(s *bits.Stream, suite []Test) ([]Result, error) {
+	var out []Result
+	for _, t := range suite {
+		if s.Len() < t.MinBits {
+			continue
+		}
+		pvs, err := t.Run(s)
+		if err != nil {
+			return nil, fmt.Errorf("nist: %s: %w", t.Name, err)
+		}
+		out = append(out, Result{Test: t.Name, PVs: pvs})
+	}
+	return out, nil
+}
+
+// ReportRow is one line of the final-analysis table: one sub-test
+// aggregated over all sequences.
+type ReportRow struct {
+	Test  string
+	C     [10]int // histogram of p-values in [i/10, (i+1)/10)
+	P     float64 // uniformity p-value of the histogram (chi-squared)
+	KSP   float64 // uniformity p-value via Kolmogorov–Smirnov (diagnostic)
+	Pass  int     // sequences with p >= Alpha
+	Total int
+
+	pvalues []float64
+}
+
+// Report is the suite's final analysis over a set of sequences.
+type Report struct {
+	Rows       []ReportRow
+	NumStreams int
+}
+
+// MinPassCount returns the smallest acceptable PROPORTION for the given
+// sample size per SP 800-22 §4.2.1: (1−α) − 3·sqrt(α(1−α)/s), scaled to a
+// count. For s = 97 this is 93, the figure quoted in the paper.
+func MinPassCount(sampleSize int) int {
+	if sampleSize <= 0 {
+		return 0
+	}
+	s := float64(sampleSize)
+	phat := 1 - Alpha
+	threshold := phat - 3*math.Sqrt(phat*(1-phat)/s)
+	// The reference implementation truncates; for 97 sequences this yields
+	// the paper's "approximately = 93".
+	return int(threshold * s)
+}
+
+// uniformityP computes the P-VALUE column: a chi-squared test of the
+// p-value histogram against uniformity (9 degrees of freedom).
+func uniformityP(c [10]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	exp := float64(total) / 10
+	var chi2 float64
+	for _, v := range c {
+		d := float64(v) - exp
+		chi2 += d * d / exp
+	}
+	return stats.Igamc(9.0/2.0, chi2/2)
+}
+
+// RunReport executes the suite on every stream and aggregates the
+// final-analysis table. Sub-tests (labelled p-values) become separate rows.
+func RunReport(streams []*bits.Stream, suite []Test) (*Report, error) {
+	type key struct{ test, label string }
+	rows := map[key]*ReportRow{}
+	var order []key
+	for si, s := range streams {
+		results, err := RunAll(s, suite)
+		if err != nil {
+			return nil, fmt.Errorf("nist: stream %d: %w", si, err)
+		}
+		for _, res := range results {
+			for _, pv := range res.PVs {
+				k := key{res.Test, pv.Label}
+				row := rows[k]
+				if row == nil {
+					name := res.Test
+					if pv.Label != "" {
+						name += " (" + pv.Label + ")"
+					}
+					row = &ReportRow{Test: name}
+					rows[k] = row
+					order = append(order, k)
+				}
+				bin := int(pv.P * 10)
+				if bin == 10 {
+					bin = 9
+				}
+				if bin < 0 {
+					bin = 0
+				}
+				row.C[bin]++
+				row.pvalues = append(row.pvalues, pv.P)
+				if pv.Pass() {
+					row.Pass++
+				}
+				row.Total++
+			}
+		}
+	}
+	rep := &Report{NumStreams: len(streams)}
+	for _, k := range order {
+		row := rows[k]
+		row.P = uniformityP(row.C, row.Total)
+		_, row.KSP = stats.KSUniform(row.pvalues)
+		rep.Rows = append(rep.Rows, *row)
+	}
+	return rep, nil
+}
+
+// RenderDiagnostics prints the supplementary Kolmogorov–Smirnov uniformity
+// p-values per row — the alternative goodness-of-fit SP 800-22's appendix
+// suggests when the ten-bin chi-squared is too coarse (e.g. the discrete
+// p-values of short streams).
+func (r *Report) RenderDiagnostics() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %12s %12s\n", "STATISTICAL TEST", "CHI2 P", "KS P")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-44s %12.6f %12.6f\n", row.Test, row.P, row.KSP)
+	}
+	return b.String()
+}
+
+// Render formats the report in the reference suite's final-analysis layout,
+// the same format the paper's Tables I and II reproduce.
+func (r *Report) Render() string {
+	var b strings.Builder
+	line := strings.Repeat("-", 98)
+	fmt.Fprintln(&b, line)
+	fmt.Fprintf(&b, "%4s%4s%4s%4s%4s%4s%4s%4s%4s%4s  %-10s %-12s %s\n",
+		"C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10",
+		"P-VALUE", "PROPORTION", "STATISTICAL TEST")
+	fmt.Fprintln(&b, line)
+	for _, row := range r.Rows {
+		for _, c := range row.C {
+			fmt.Fprintf(&b, "%4d", c)
+		}
+		prop := fmt.Sprintf("%d/%d", row.Pass, row.Total)
+		mark := ""
+		if row.Pass < MinPassCount(row.Total) {
+			mark = " *"
+		}
+		fmt.Fprintf(&b, "  %-10.6f %-12s %s%s\n", row.P, prop, row.Test, mark)
+	}
+	fmt.Fprintln(&b, line)
+	fmt.Fprintf(&b, "The minimum pass rate for each statistical test is approximately = %d for a sample size = %d binary sequences.\n",
+		MinPassCount(r.NumStreams), r.NumStreams)
+	return b.String()
+}
+
+// AllPass reports whether every row meets the proportion threshold.
+func (r *Report) AllPass() bool {
+	for _, row := range r.Rows {
+		if row.Pass < MinPassCount(row.Total) {
+			return false
+		}
+	}
+	return len(r.Rows) > 0
+}

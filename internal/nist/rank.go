@@ -1,0 +1,87 @@
+package nist
+
+import (
+	"fmt"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/stats"
+)
+
+// rankMatrixSize is the 32×32 matrix size of the binary rank test.
+const rankMatrixSize = 32
+
+// RankTest returns the binary matrix rank test (§2.5): linear dependence
+// among fixed-length substrings lowers the rank of 32×32 bit matrices.
+func RankTest() Test {
+	const bitsPerMatrix = rankMatrixSize * rankMatrixSize
+	return Test{
+		Name:    "Rank",
+		MinBits: 38 * bitsPerMatrix, // spec: at least 38 matrices
+		Run: func(s *bits.Stream) ([]PV, error) {
+			n := s.Len()
+			nMat := n / bitsPerMatrix
+			if nMat == 0 {
+				return nil, fmt.Errorf("%w: rank needs at least %d bits", ErrTooShort, bitsPerMatrix)
+			}
+			var f32, f31 int
+			rows := make([]uint32, rankMatrixSize)
+			for m := 0; m < nMat; m++ {
+				base := m * bitsPerMatrix
+				for r := 0; r < rankMatrixSize; r++ {
+					var w uint32
+					for c := 0; c < rankMatrixSize; c++ {
+						if s.Bit(base + r*rankMatrixSize + c) {
+							w |= 1 << uint(c)
+						}
+					}
+					rows[r] = w
+				}
+				switch BinaryRank(rows) {
+				case rankMatrixSize:
+					f32++
+				case rankMatrixSize - 1:
+					f31++
+				}
+			}
+			// Asymptotic category probabilities for full rank, rank m−1 and
+			// the rest (spec §3.5).
+			const p32, p31 = 0.2888, 0.5776
+			p30 := 1 - p32 - p31
+			fRest := nMat - f32 - f31
+			chi2 := sq(float64(f32)-p32*float64(nMat))/(p32*float64(nMat)) +
+				sq(float64(f31)-p31*float64(nMat))/(p31*float64(nMat)) +
+				sq(float64(fRest)-p30*float64(nMat))/(p30*float64(nMat))
+			// Two degrees of freedom: p = exp(−χ²/2) = igamc(1, χ²/2).
+			return []PV{{P: stats.Igamc(1, chi2/2)}}, nil
+		},
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+// BinaryRank computes the rank over GF(2) of a square bit matrix whose rows
+// are packed into uint32 words (bit c of rows[r] is element (r, c)).
+func BinaryRank(rows []uint32) int {
+	m := append([]uint32(nil), rows...)
+	rank := 0
+	for col := 0; col < rankMatrixSize && rank < len(m); col++ {
+		pivot := -1
+		for r := rank; r < len(m); r++ {
+			if m[r]>>uint(col)&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m[rank], m[pivot] = m[pivot], m[rank]
+		for r := 0; r < len(m); r++ {
+			if r != rank && m[r]>>uint(col)&1 == 1 {
+				m[r] ^= m[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}

@@ -1,0 +1,233 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/stats"
+)
+
+// AperiodicTemplates returns every m-bit pattern that cannot overlap a
+// shifted copy of itself — the template set of the non-overlapping template
+// matching test. For m = 9 this yields the familiar 148 templates of the
+// reference implementation.
+func AperiodicTemplates(m int) [][]bool {
+	if m <= 0 || m > 16 {
+		return nil
+	}
+	var out [][]bool
+	for pat := 0; pat < 1<<uint(m); pat++ {
+		if isAperiodic(pat, m) {
+			t := make([]bool, m)
+			for i := 0; i < m; i++ {
+				t[i] = pat>>uint(m-1-i)&1 == 1
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// isAperiodic reports whether the m-bit pattern has no non-trivial
+// self-overlap: for every shift d in 1..m-1, the pattern's last m−d bits
+// must differ from its first m−d bits.
+func isAperiodic(pat, m int) bool {
+	for d := 1; d < m; d++ {
+		mask := (1 << uint(m-d)) - 1
+		if pat>>uint(d)&mask == pat&mask {
+			return false
+		}
+	}
+	return true
+}
+
+// NonOverlappingTemplateTest returns the non-overlapping template matching
+// test (§2.7) for template length m, using the full aperiodic template set.
+// Each template contributes one labelled p-value.
+func NonOverlappingTemplateTest(m int) Test {
+	const numBlocks = 8 // the reference implementation's N
+	return Test{
+		Name:    fmt.Sprintf("NonOverlappingTemplate(m=%d)", m),
+		MinBits: numBlocks * 8 * m, // blocks must comfortably exceed the template
+		Run: func(s *bits.Stream) ([]PV, error) {
+			templates := AperiodicTemplates(m)
+			if templates == nil {
+				return nil, fmt.Errorf("nist: unsupported template length %d", m)
+			}
+			var pvs []PV
+			for _, tpl := range templates {
+				p, err := NonOverlappingPValue(s, tpl, numBlocks)
+				if err != nil {
+					return nil, err
+				}
+				pvs = append(pvs, PV{Label: templateLabel(tpl), P: p})
+			}
+			return pvs, nil
+		},
+	}
+}
+
+// NonOverlappingPValue computes the §2.7 statistic for one template with
+// the sequence split into numBlocks blocks. Exposed with explicit
+// parameters so the spec's worked example (N=2, M=10, B=001) is directly
+// checkable.
+func NonOverlappingPValue(s *bits.Stream, tpl []bool, numBlocks int) (float64, error) {
+	n := s.Len()
+	m := len(tpl)
+	if m == 0 || numBlocks <= 0 {
+		return 0, fmt.Errorf("nist: invalid template/block parameters (m=%d, N=%d)", m, numBlocks)
+	}
+	blockLen := n / numBlocks
+	if blockLen < 2*m {
+		return 0, fmt.Errorf("%w: non-overlapping template needs blocks of at least %d bits", ErrTooShort, 2*m)
+	}
+	mean := float64(blockLen-m+1) / math.Pow(2, float64(m))
+	variance := float64(blockLen) * (1/math.Pow(2, float64(m)) -
+		float64(2*m-1)/math.Pow(2, float64(2*m)))
+	if variance <= 0 {
+		return 0, fmt.Errorf("nist: degenerate variance for m=%d, M=%d", m, blockLen)
+	}
+	var chi2 float64
+	for b := 0; b < numBlocks; b++ {
+		w := 0
+		base := b * blockLen
+		for i := 0; i <= blockLen-m; {
+			if matchAt(s, base+i, tpl) {
+				w++
+				i += m // non-overlapping: skip past the match
+			} else {
+				i++
+			}
+		}
+		d := float64(w) - mean
+		chi2 += d * d / variance
+	}
+	return stats.Igamc(float64(numBlocks)/2, chi2/2), nil
+}
+
+func matchAt(s *bits.Stream, pos int, tpl []bool) bool {
+	for j, want := range tpl {
+		if s.Bit(pos+j) != want {
+			return false
+		}
+	}
+	return true
+}
+
+func templateLabel(tpl []bool) string {
+	b := make([]byte, len(tpl))
+	for i, v := range tpl {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// OverlappingTemplateTest returns the overlapping template matching test
+// (§2.8) for the all-ones template of length m. The category probabilities
+// are computed from the spec's Pr(U = u) recurrence, so the test adapts to
+// any block size.
+func OverlappingTemplateTest(m int) Test {
+	const (
+		numCats  = 5 // categories 0..4 plus >=5
+		blockLen = 1032
+	)
+	return Test{
+		Name:    fmt.Sprintf("OverlappingTemplate(m=%d)", m),
+		MinBits: 5 * blockLen,
+		Run: func(s *bits.Stream) ([]PV, error) {
+			n := s.Len()
+			nBlocks := n / blockLen
+			if nBlocks < 1 {
+				return nil, fmt.Errorf("%w: overlapping template needs at least %d bits", ErrTooShort, blockLen)
+			}
+			tpl := make([]bool, m)
+			for i := range tpl {
+				tpl[i] = true
+			}
+			// Occurrence counts per block, categorized 0..4 and >=5.
+			counts := make([]int, numCats+1)
+			for b := 0; b < nBlocks; b++ {
+				w := 0
+				base := b * blockLen
+				for i := 0; i <= blockLen-m; i++ {
+					if matchAt(s, base+i, tpl) {
+						w++
+					}
+				}
+				if w > numCats {
+					w = numCats
+				}
+				counts[w]++
+			}
+			pi := overlappingProbabilities(m, blockLen, numCats)
+			var chi2 float64
+			for i, c := range counts {
+				exp := float64(nBlocks) * pi[i]
+				if exp == 0 {
+					continue
+				}
+				d := float64(c) - exp
+				chi2 += d * d / exp
+			}
+			p := stats.Igamc(float64(numCats)/2, chi2/2)
+			return []PV{{P: p}}, nil
+		},
+	}
+}
+
+// overlappingProbabilities returns Pr(#occurrences = 0..numCats−1) and the
+// tail Pr(>= numCats) for the all-ones template of length m in a block of
+// blockLen bits. For the standard parameterization (m=9, M=1032, K=5) the
+// spec's exact constants (§3.8, computed by Hamano's method and hardcoded
+// by the reference implementation) are used; other parameterizations fall
+// back to the compound-Poisson approximation of the Pr recurrence.
+func overlappingProbabilities(m, blockLen, numCats int) []float64 {
+	if m == 9 && blockLen == 1032 && numCats == 5 {
+		return []float64{0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139866}
+	}
+	lambda := float64(blockLen-m+1) / math.Pow(2, float64(m))
+	eta := lambda / 2
+	pi := make([]float64, numCats+1)
+	sum := 0.0
+	for u := 0; u < numCats; u++ {
+		pi[u] = pr(u, eta)
+		sum += pi[u]
+	}
+	pi[numCats] = 1 - sum
+	if pi[numCats] < 0 {
+		pi[numCats] = 0
+	}
+	return pi
+}
+
+// pr implements the spec's probability of exactly u occurrences (from the
+// reference implementation's Pr function).
+func pr(u int, eta float64) float64 {
+	if u == 0 {
+		return math.Exp(-eta)
+	}
+	sum := 0.0
+	for l := 1; l <= u; l++ {
+		t := -eta - float64(u)*math.Ln2 + float64(l)*math.Log(eta) -
+			lnFact(l) + lnChoose(u-1, l-1)
+		sum += math.Exp(t)
+	}
+	return sum
+}
+
+func lnFact(n int) float64 {
+	v, _ := math.Lgamma(float64(n + 1))
+	return v
+}
+
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return lnFact(n) - lnFact(k) - lnFact(n-k)
+}

@@ -1,0 +1,143 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/stats"
+)
+
+// universalParams holds Maurer's test constants per block length L
+// (§2.9, table 2-9: expected value and variance of the per-block statistic).
+type universalParams struct {
+	expected float64
+	variance float64
+}
+
+var universalTable = map[int]universalParams{
+	1:  {0.7326495, 0.690},
+	2:  {1.5374383, 1.338},
+	3:  {2.4016068, 1.901},
+	4:  {3.3112247, 2.358},
+	5:  {4.2534266, 2.705},
+	6:  {5.2177052, 2.954},
+	7:  {6.1962507, 3.125},
+	8:  {7.1836656, 3.238},
+	9:  {8.1764248, 3.311},
+	10: {9.1723243, 3.356},
+	11: {10.170032, 3.384},
+	12: {11.168765, 3.401},
+	13: {12.168070, 3.410},
+	14: {13.167693, 3.416},
+	15: {14.167488, 3.419},
+	16: {15.167379, 3.421},
+}
+
+// universalBlockLen picks L from the input length per the spec's table.
+func universalBlockLen(n int) int {
+	switch {
+	case n >= 1059061760:
+		return 16
+	case n >= 496435200:
+		return 15
+	case n >= 231669760:
+		return 14
+	case n >= 107560960:
+		return 13
+	case n >= 49643520:
+		return 12
+	case n >= 22753280:
+		return 11
+	case n >= 10342400:
+		return 10
+	case n >= 4654080:
+		return 9
+	case n >= 2068480:
+		return 8
+	case n >= 904960:
+		return 7
+	case n >= 387840:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// UniversalTest returns Maurer's universal statistical test (§2.9): the
+// compressibility of the sequence, measured through distances between
+// repeated L-bit blocks.
+func UniversalTest() Test {
+	return Test{
+		Name:    "Universal",
+		MinBits: 387840,
+		Run: func(s *bits.Stream) ([]PV, error) {
+			n := s.Len()
+			l := universalBlockLen(n)
+			if l == 0 {
+				return nil, fmt.Errorf("%w: universal needs at least 387840 bits, have %d", ErrTooShort, n)
+			}
+			q := 10 * (1 << uint(l)) // initialization blocks
+			p, err := UniversalPValue(s, l, q)
+			if err != nil {
+				return nil, err
+			}
+			return []PV{{P: p}}, nil
+		},
+	}
+}
+
+// UniversalStatistic computes Maurer's fn statistic with explicit block
+// length L and initialization-block count Q, returning fn and the number of
+// test blocks K. Exposed so the spec's worked example (n=20, L=2, Q=4,
+// fn = 1.1949875) is directly checkable.
+func UniversalStatistic(s *bits.Stream, l, q int) (fn float64, k int, err error) {
+	n := s.Len()
+	if l <= 0 || l > 16 {
+		return 0, 0, fmt.Errorf("nist: universal block length L=%d out of range [1,16]", l)
+	}
+	if q < 1<<uint(l) {
+		return 0, 0, fmt.Errorf("nist: universal needs Q >= 2^L initialization blocks, got Q=%d L=%d", q, l)
+	}
+	k = n/l - q // test blocks
+	if k <= 0 {
+		return 0, 0, fmt.Errorf("%w: universal with L=%d has no test blocks", ErrTooShort, l)
+	}
+	lastSeen := make([]int, 1<<uint(l))
+	block := func(i int) int {
+		v := 0
+		for j := 0; j < l; j++ {
+			v = v<<1 | s.Int(i*l+j)
+		}
+		return v
+	}
+	for i := 0; i < q; i++ {
+		lastSeen[block(i)] = i + 1
+	}
+	var sum float64
+	for i := q; i < q+k; i++ {
+		b := block(i)
+		sum += math.Log2(float64(i + 1 - lastSeen[b]))
+		lastSeen[b] = i + 1
+	}
+	return sum / float64(k), k, nil
+}
+
+// UniversalPValue computes Maurer's p-value following the reference
+// implementation: σ = c·√(variance/K) with the finite-sample correction c
+// of §2.9.4. (The spec's tiny worked example skips the correction for
+// illustration; this function matches the production code path.)
+func UniversalPValue(s *bits.Stream, l, q int) (float64, error) {
+	prm, ok := universalTable[l]
+	if !ok {
+		return 0, fmt.Errorf("nist: universal has no constants for L=%d", l)
+	}
+	fn, k, err := UniversalStatistic(s, l, q)
+	if err != nil {
+		return 0, err
+	}
+	c := 0.7 - 0.8/float64(l) + (4+32/float64(l))*
+		math.Pow(float64(k), -3.0/float64(l))/15
+	sigma := c * math.Sqrt(prm.variance/float64(k))
+	return stats.Erfc(math.Abs(fn-prm.expected) / (math.Sqrt2 * sigma)), nil
+}

@@ -1,0 +1,138 @@
+// Package rngx provides a deterministic, splittable pseudo-random number
+// generator used by every simulation in this repository.
+//
+// Reproducibility is a hard requirement: each dataset, each experiment and
+// each benchmark must regenerate byte-identical results from a single seed.
+// The standard library's math/rand/v2 offers good generators but no stable
+// way to derive independent sub-streams from a parent seed, which the
+// silicon simulator needs (one stream per board, per ring, per device).
+// rngx implements xoshiro256** seeded through SplitMix64, with Split
+// deriving statistically independent child generators.
+package rngx
+
+import "math"
+
+// RNG is a xoshiro256** generator. The zero value is not usable; construct
+// with New or Split.
+type RNG struct {
+	s         [4]uint64
+	spare     float64 // cached second variate from the polar method
+	haveSpare bool
+}
+
+// splitmix64 advances the state and returns the next output. It is used
+// both for seeding xoshiro and for deriving child seeds in Split.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator deterministically seeded from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start at the all-zero state; splitmix64 cannot emit
+	// four consecutive zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split derives an independent child generator. The child's seed is drawn
+// from the parent, so sibling order matters but siblings do not share state.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rngx: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	limit := -bound % bound // 2^64 mod n
+	for {
+		v := r.Uint64()
+		if v >= limit {
+			return int(v % bound)
+		}
+	}
+}
+
+// Bool returns a uniformly random boolean.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Norm returns a standard normal variate (mean 0, stddev 1) using the
+// Marsaglia polar method. Two variates are produced per round; the spare is
+// cached.
+func (r *RNG) Norm() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			f := math.Sqrt(-2 * math.Log(s) / s)
+			r.spare = v * f
+			r.haveSpare = true
+			return u * f
+		}
+	}
+}
+
+// NormMeanStd returns a normal variate with the given mean and stddev.
+func (r *RNG) NormMeanStd(mean, std float64) float64 {
+	return mean + std*r.Norm()
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

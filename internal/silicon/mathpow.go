@@ -1,0 +1,7 @@
+package silicon
+
+import "math"
+
+// mathPow isolates the math.Pow dependency so the hot path in envFactor can
+// be swapped for a cheaper approximation if profiling ever demands it.
+func mathPow(base, exp float64) float64 { return math.Pow(base, exp) }

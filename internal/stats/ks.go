@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSUniform runs a one-sample Kolmogorov–Smirnov test of the hypothesis
+// that xs are drawn from Uniform[0, 1], returning the statistic D and the
+// asymptotic p-value. SP 800-22 (§4.2.2 / appendix) names KS as the
+// alternative to the chi-squared goodness-of-fit on the p-value histogram;
+// the Report type exposes both.
+func KSUniform(xs []float64) (d, p float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, x := range sorted {
+		if x < 0 {
+			x = 0
+		}
+		if x > 1 {
+			x = 1
+		}
+		lo := x - float64(i)/float64(n)
+		hi := float64(i+1)/float64(n) - x
+		d = math.Max(d, math.Max(lo, hi))
+	}
+	return d, ksPValue(math.Sqrt(float64(n))*d + d/(6*math.Sqrt(float64(n))))
+}
+
+// ksPValue evaluates the Kolmogorov distribution's survival function
+// Q(λ) = 2·Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²} (Marsaglia's form with the
+// standard finite-sample correction applied by the caller).
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for test inputs.
+func lcgSeq(seed uint64, n int) []float64 {
+	out := make([]float64, n)
+	s := seed
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		out[i] = float64(s>>11) / float64(uint64(1)<<53)
+	}
+	return out
+}
+
+func TestKSUniformAcceptsUniform(t *testing.T) {
+	xs := lcgSeq(1, 5000)
+	d, p := KSUniform(xs)
+	if d > 0.05 {
+		t.Fatalf("D = %.4f for uniform input, want small", d)
+	}
+	if p < 0.01 {
+		t.Fatalf("p = %.4f for uniform input, want > 0.01", p)
+	}
+}
+
+func TestKSUniformRejectsClustered(t *testing.T) {
+	// Values clustered in [0, 0.5]: strongly non-uniform.
+	xs := lcgSeq(2, 2000)
+	for i := range xs {
+		xs[i] *= 0.5
+	}
+	_, p := KSUniform(xs)
+	if p > 1e-6 {
+		t.Fatalf("p = %g for clustered input, want ~0", p)
+	}
+}
+
+func TestKSUniformRejectsConstant(t *testing.T) {
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 0.3
+	}
+	d, p := KSUniform(xs)
+	if d < 0.6 {
+		t.Fatalf("D = %.4f for constant input, want ~0.7", d)
+	}
+	if p > 1e-9 {
+		t.Fatalf("p = %g for constant input, want ~0", p)
+	}
+}
+
+func TestKSUniformKnownStatistic(t *testing.T) {
+	// Four equally spaced points at bin centers: D = 1/8.
+	xs := []float64{0.125, 0.375, 0.625, 0.875}
+	d, p := KSUniform(xs)
+	if math.Abs(d-0.125) > 1e-12 {
+		t.Fatalf("D = %.6f, want 0.125", d)
+	}
+	if p < 0.99 {
+		t.Fatalf("p = %.4f for near-perfect uniformity, want ~1", p)
+	}
+}
+
+func TestKSUniformEdgeCases(t *testing.T) {
+	if d, p := KSUniform(nil); d != 0 || p != 1 {
+		t.Fatal("empty input should be (0, 1)")
+	}
+	// Out-of-range values are clamped, not a panic.
+	d, p := KSUniform([]float64{-0.5, 1.5, 0.5})
+	if math.IsNaN(d) || math.IsNaN(p) {
+		t.Fatal("NaN on out-of-range input")
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	prev := 1.1
+	for _, lambda := range []float64{0.1, 0.5, 0.8, 1.0, 1.5, 2.0, 3.0} {
+		p := ksPValue(lambda)
+		if p > prev {
+			t.Fatalf("ksPValue not monotone at λ=%g", lambda)
+		}
+		prev = p
+	}
+	// Known value: Q(1.0) ≈ 0.27.
+	if p := ksPValue(1.0); math.Abs(p-0.27) > 0.01 {
+		t.Fatalf("Q(1.0) = %.4f, want ≈0.27", p)
+	}
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.10g, want %.10g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		approx(t, "Mean", Mean(c.xs), c.want, 1e-12)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with divisor n-1: Σ(x−5)² = 32, 32/7.
+	approx(t, "Variance", Variance(xs), 32.0/7.0, 1e-12)
+	approx(t, "StdDev", StdDev(xs), math.Sqrt(32.0/7.0), 1e-12)
+	approx(t, "PopVariance", PopVariance(xs), 4, 1e-12)
+	if Variance([]float64{1}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+	if PopVariance(nil) != 0 {
+		t.Error("PopVariance of empty slice should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -2, 8, 0})
+	if lo != -2 || hi != 8 {
+		t.Fatalf("MinMax = (%g, %g), want (-2, 8)", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax of empty slice did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestMedian(t *testing.T) {
+	approx(t, "Median odd", Median([]float64{3, 1, 2}), 2, 0)
+	approx(t, "Median even", Median([]float64{4, 1, 3, 2}), 2.5, 0)
+	// Median must not modify its argument.
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Error("Median modified its input")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Correlation perfect", r, 1, 1e-12)
+
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Correlation(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Correlation anti", r, -1, 1e-12)
+
+	if _, err := Correlation(xs, xs[:3]); err == nil {
+		t.Error("Correlation accepted mismatched lengths")
+	}
+	if _, err := Correlation([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("Correlation accepted constant input")
+	}
+	if _, err := Correlation([]float64{1}, []float64{1}); err == nil {
+		t.Error("Correlation accepted single sample")
+	}
+}
+
+func TestCorrelationBounded(t *testing.T) {
+	check := func(seed int64) bool {
+		xs := make([]float64, 16)
+		ys := make([]float64, 16)
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s%1000)/500 - 1
+		}
+		for i := range xs {
+			xs[i] = next()
+			ys[i] = next()
+		}
+		r, err := Correlation(xs, ys)
+		if err != nil {
+			return true // degenerate constant draw
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIgamcKnownValues(t *testing.T) {
+	// Chi-squared survival values cross-checked against published tables:
+	// P(χ²_k > x) = Igamc(k/2, x/2).
+	cases := []struct {
+		k    int
+		x    float64
+		want float64
+	}{
+		{1, 3.841, 0.05},
+		{2, 5.991, 0.05},
+		{5, 11.070, 0.05},
+		{10, 18.307, 0.05},
+		{9, 21.666, 0.01},
+		{1, 0.00393, 0.95},
+	}
+	for _, c := range cases {
+		got := ChiSquaredSF(c.x, c.k)
+		approx(t, "ChiSquaredSF", got, c.want, 2e-4)
+	}
+}
+
+func TestIgamIgamcComplementary(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 7, 20} {
+		for _, x := range []float64{0.1, 1, 3, 10, 40} {
+			sum := Igam(a, x) + Igamc(a, x)
+			approx(t, "Igam+Igamc", sum, 1, 1e-10)
+		}
+	}
+}
+
+func TestIgamcEdgeCases(t *testing.T) {
+	if got := Igamc(1, 0); got != 1 {
+		t.Errorf("Igamc(1,0) = %g, want 1", got)
+	}
+	if got := Igamc(0, 5); got != 1 {
+		t.Errorf("Igamc(0,5) = %g, want 1 (invalid a treated as 1)", got)
+	}
+	if got := Igam(1, 0); got != 0 {
+		t.Errorf("Igam(1,0) = %g, want 0", got)
+	}
+	// Igamc(1, x) = exp(-x) analytically.
+	for _, x := range []float64{0.5, 1, 2, 5} {
+		approx(t, "Igamc(1,x)=e^-x", Igamc(1, x), math.Exp(-x), 1e-12)
+	}
+	// Very large x underflows to 0.
+	if got := Igamc(2, 1e6); got != 0 {
+		t.Errorf("Igamc(2,1e6) = %g, want 0", got)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	approx(t, "Phi(0)", NormalCDF(0), 0.5, 1e-12)
+	approx(t, "Phi(1.96)", NormalCDF(1.96), 0.975, 1e-4)
+	approx(t, "Phi(-1.96)", NormalCDF(-1.96), 0.025, 1e-4)
+	// Symmetry: Phi(x) + Phi(-x) = 1.
+	for _, x := range []float64{0.1, 0.7, 2.3, 5} {
+		approx(t, "Phi symmetry", NormalCDF(x)+NormalCDF(-x), 1, 1e-12)
+		approx(t, "SF complement", NormalSF(x), 1-NormalCDF(x), 1e-12)
+	}
+}
+
+func TestChiSquaredSFNegative(t *testing.T) {
+	if got := ChiSquaredSF(-1, 3); got != 1 {
+		t.Errorf("ChiSquaredSF(-1,3) = %g, want 1", got)
+	}
+}
