@@ -1,0 +1,27 @@
+# Development targets. `make verify` is the PR gate: it vets the tree and
+# race-checks every package, which is what keeps the concurrent fleet and
+# experiment-runner code honest.
+
+GO ?= go
+
+.PHONY: all build test verify bench fleet-bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# PR gate: static checks plus the full test suite under the race detector.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Serial-vs-parallel fleet enrollment comparison.
+fleet-bench:
+	$(GO) test -run xxx -bench 'BenchmarkFleetEnroll' -benchtime 10x .

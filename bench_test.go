@@ -5,6 +5,7 @@ package ropuf_test
 // for the design choices called out in DESIGN.md §5.
 
 import (
+	"context"
 	"testing"
 
 	"ropuf/internal/bits"
@@ -13,6 +14,7 @@ import (
 	"ropuf/internal/dataset"
 	"ropuf/internal/distill"
 	"ropuf/internal/experiments"
+	"ropuf/internal/fleet"
 	"ropuf/internal/fuzzy"
 	"ropuf/internal/measure"
 	"ropuf/internal/nist"
@@ -274,6 +276,82 @@ func BenchmarkPairingExp(b *testing.B) { benchExperiment(b, "pairing") }
 
 func BenchmarkMultibitExp(b *testing.B)    { benchExperiment(b, "multibit") }
 func BenchmarkMeasurementExp(b *testing.B) { benchExperiment(b, "measurement") }
+
+// --- fleet engine: serial vs parallel batch enrollment --------------------
+
+// fleetBenchDevices lazily fabricates the shared ≥500-device batch.
+var fleetBenchDevices []fleet.Device
+
+func fleetBatch(b *testing.B) []fleet.Device {
+	b.Helper()
+	if fleetBenchDevices == nil {
+		devices, err := fleet.Synthetic(512, 32, 15, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fleetBenchDevices = devices
+	}
+	return fleetBenchDevices
+}
+
+// benchFleetEnroll measures batch enrollment of the 512-device fleet.
+// workers == 0 benchmarks the serial per-device path (a plain core.Enroll
+// loop); workers > 0 benchmarks the fleet engine at that pool size.
+func benchFleetEnroll(b *testing.B, workers int) {
+	devices := fleetBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if workers == 0 {
+			for _, d := range devices {
+				if _, err := core.Enroll(d.Pairs, core.Case2, 0, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			continue
+		}
+		rep, err := fleet.Enroll(context.Background(), devices, fleet.Options{Workers: workers, Mode: core.Case2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			b.Fatalf("%d devices failed", rep.Failed)
+		}
+	}
+}
+
+func BenchmarkFleetEnrollSerial(b *testing.B)   { benchFleetEnroll(b, 0) }
+func BenchmarkFleetEnroll1Worker(b *testing.B)  { benchFleetEnroll(b, 1) }
+func BenchmarkFleetEnroll2Workers(b *testing.B) { benchFleetEnroll(b, 2) }
+func BenchmarkFleetEnroll4Workers(b *testing.B) { benchFleetEnroll(b, 4) }
+func BenchmarkFleetEnroll8Workers(b *testing.B) { benchFleetEnroll(b, 8) }
+
+// BenchmarkFleetEvaluate8Workers measures the evaluation stage: every
+// enrolled device re-measured under three noisy environments.
+func BenchmarkFleetEvaluate8Workers(b *testing.B) {
+	devices := fleetBatch(b)
+	rep, err := fleet.Enroll(context.Background(), devices, fleet.Options{Workers: 8, Mode: core.Case2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]fleet.EvalJob, len(devices))
+	for i, res := range rep.Results {
+		envs := make([][]core.Pair, 3)
+		for e := range envs {
+			envs[e] = fleet.Remeasure(devices[i], 2, uint64(3*i+e))
+		}
+		jobs[i] = fleet.EvalJob{ID: res.ID, Enrollment: res.Enrollment, Envs: envs, RefEnv: -1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fleet.Evaluate(context.Background(), jobs, fleet.Options{Workers: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			b.Fatalf("%d evaluations failed", rep.Failed)
+		}
+	}
+}
 
 func BenchmarkSelectMulti(b *testing.B) {
 	alpha, beta := selectionInput(13)

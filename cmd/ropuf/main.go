@@ -4,22 +4,29 @@
 //
 // Usage:
 //
-//	ropuf [-out dir] [-parallel N] list|all|experiment <id>...|verify
+//	ropuf [-out dir] [-parallel N] list|all|experiment <id>...|verify|fleet
 //
 //	ropuf list                 print available experiment IDs
 //	ropuf experiment <id>...   run one or more experiments (or "all")
 //	ropuf all                  shorthand for "experiment all"
 //	ropuf verify               check the headline reproduction claims
+//	ropuf fleet [flags]        enroll + evaluate a synthetic device fleet concurrently
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"ropuf/internal/circuit"
+	"ropuf/internal/core"
 	"ropuf/internal/experiments"
+	"ropuf/internal/fleet"
+	"ropuf/internal/metrics"
 )
 
 var (
@@ -48,6 +55,8 @@ func usage() {
   ropuf all                  run every experiment
   ropuf verify               check the headline reproduction claims (CI gate)
   ropuf rtl [stages]         emit the Fig. 1 architecture as Verilog (default 5 stages)
+  ropuf fleet [flags]        enroll + evaluate a synthetic device fleet concurrently
+                             (see 'ropuf fleet -h' for flags)
 `)
 }
 
@@ -69,6 +78,8 @@ func run(args []string) error {
 		return runVerify()
 	case "rtl":
 		return runRTL(args[1:])
+	case "fleet":
+		return runFleet(args[1:])
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", args[0])
@@ -86,6 +97,91 @@ func runRTL(args []string) error {
 		}
 	}
 	return circuit.WriteVerilogPair(os.Stdout, fmt.Sprintf("cro_puf_pair_n%d", stages), stages, 16)
+}
+
+// runFleet exercises the batch layer end to end: fabricate a synthetic
+// device fleet, enroll it concurrently, re-measure every device under
+// noisy environments, and report throughput plus the fleet counters.
+func runFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	numDevices := fs.Int("devices", 256, "number of synthetic devices")
+	pairs := fs.Int("pairs", 32, "PUF pairs per device")
+	stages := fs.Int("stages", 13, "ring stages per pair")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	modeName := fs.String("mode", "case2", "selection mode: case1 or case2")
+	threshold := fs.Float64("threshold", 0, "enrollment margin threshold (ps)")
+	envs := fs.Int("envs", 3, "noisy re-measurement environments per device")
+	noise := fs.Float64("noise", 2, "re-measurement noise sigma (ps)")
+	seed := fs.Uint64("seed", 1, "fleet fabrication seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	var mode core.Mode
+	switch *modeName {
+	case "case1":
+		mode = core.Case1
+	case "case2":
+		mode = core.Case2
+	default:
+		return fmt.Errorf("fleet: unknown mode %q (want case1 or case2)", *modeName)
+	}
+
+	devices, err := fleet.Synthetic(*numDevices, *pairs, *stages, *seed)
+	if err != nil {
+		return err
+	}
+	counters := &metrics.FleetCounters{}
+	opt := fleet.Options{Workers: *workers, Mode: mode, Threshold: *threshold, Counters: counters}
+	ctx := context.Background()
+
+	rep, err := fleet.Enroll(ctx, devices, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("enrolled %d/%d devices (%s, Rth=%g ps) in %s — %.0f devices/s\n",
+		rep.Enrolled, len(devices), mode, *threshold, rep.Elapsed.Round(time.Microsecond),
+		float64(rep.Enrolled)/rep.Elapsed.Seconds())
+	for _, res := range rep.Results {
+		if res.Err != nil {
+			fmt.Printf("  %v\n", res.Err)
+		}
+	}
+
+	jobs := make([]fleet.EvalJob, 0, len(devices))
+	for i, res := range rep.Results {
+		if res.Enrollment == nil {
+			continue
+		}
+		measured := make([][]core.Pair, *envs)
+		for e := range measured {
+			measured[e] = fleet.Remeasure(devices[i], *noise, *seed+uint64(i**envs+e)+1)
+		}
+		jobs = append(jobs, fleet.EvalJob{ID: res.ID, Enrollment: res.Enrollment, Envs: measured, RefEnv: -1})
+	}
+	if len(jobs) == 0 {
+		return errors.New("fleet: no devices enrolled (threshold too high?)")
+	}
+	evalRep, err := fleet.Evaluate(ctx, jobs, opt)
+	if err != nil {
+		return err
+	}
+	totalBits, flips := 0, 0
+	for _, res := range evalRep.Results {
+		if res.Err != nil {
+			fmt.Printf("  %v\n", res.Err)
+			continue
+		}
+		totalBits += res.Reliability.TotalBits
+		flips += res.Reliability.Flips
+	}
+	fmt.Printf("evaluated %d devices x %d environments in %s — %.4f%% flip rate (%d of %d bits)\n",
+		evalRep.Evaluated, *envs, evalRep.Elapsed.Round(time.Microsecond),
+		100*float64(flips)/float64(max(totalBits, 1)), flips, totalBits)
+	fmt.Printf("counters: %s\n", counters)
+	return nil
 }
 
 func runVerify() error {
@@ -117,7 +213,7 @@ func runExperiments(ids []string) error {
 	}
 	var results []*experiments.Result
 	if all && *parallel != 0 {
-		rs, err := r.RunAllParallel(*parallel)
+		rs, err := r.RunAllParallel(context.Background(), *parallel)
 		if err != nil {
 			return err
 		}

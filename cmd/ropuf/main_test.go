@@ -25,6 +25,24 @@ func TestRunUnknownCommand(t *testing.T) {
 	}
 }
 
+func TestRunFleet(t *testing.T) {
+	if err := run([]string{"fleet", "-devices", "8", "-pairs", "8", "-stages", "5", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFleetBadFlags(t *testing.T) {
+	if err := run([]string{"fleet", "-mode", "case3"}); err == nil {
+		t.Fatal("unknown fleet mode accepted")
+	}
+	if err := run([]string{"fleet", "-devices", "0"}); err == nil {
+		t.Fatal("zero-device fleet accepted")
+	}
+	if err := run([]string{"fleet", "-bogus"}); err == nil {
+		t.Fatal("unknown fleet flag accepted")
+	}
+}
+
 func TestRunSingleExperimentWithOut(t *testing.T) {
 	dir := t.TempDir()
 	old := *outDir

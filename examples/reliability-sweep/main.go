@@ -3,29 +3,40 @@
 // voltage-variation reliability, across the traditional, 1-out-of-8 and
 // configurable (Case-1/Case-2) RO PUFs.
 //
+// Both sweeps run on the fleet engine: the per-mode enrollments and the
+// per-ring-length enroll/evaluate passes are batch jobs over a bounded
+// worker pool rather than hand-rolled loops.
+//
 // Run with:
 //
 //	go run ./examples/reliability-sweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"ropuf/internal/baseline"
 	"ropuf/internal/core"
 	"ropuf/internal/dataset"
+	"ropuf/internal/fleet"
+	"ropuf/internal/metrics"
 	"ropuf/internal/silicon"
 )
 
 func main() {
-	sweepThreshold()
-	sweepRingLength()
+	counters := &metrics.FleetCounters{}
+	sweepThreshold(counters)
+	sweepRingLength(counters)
+	fmt.Printf("fleet counters: %s\n", counters)
 }
 
 // sweepThreshold reproduces the §IV.E trade-off on one in-house board:
-// bits surviving an enrollment margin threshold.
-func sweepThreshold() {
+// bits surviving an enrollment margin threshold. Both selection modes are
+// enrolled once (threshold 0) in a single fleet batch; the per-Rth yield
+// is then read off the enrolled margins.
+func sweepThreshold(counters *metrics.FleetCounters) {
 	cfg := dataset.DefaultInHouseConfig()
 	cfg.NumBoards = 1
 	boards, err := dataset.GenerateInHouse(cfg)
@@ -41,6 +52,18 @@ func sweepThreshold() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep, err := fleet.Enroll(context.Background(), []fleet.Device{
+		{ID: "case1", Pairs: pairs, Mode: core.Case1},
+		{ID: "case2", Pairs: pairs, Mode: core.Case2},
+	}, fleet.Options{Counters: counters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+	}
 	fmt.Println("bits surviving enrollment threshold (one board, 32 pairs):")
 	fmt.Printf("%10s %12s %12s %12s\n", "Rth (ps)", "traditional", "Case-1", "Case-2")
 	for _, rth := range []float64{0, 3, 6, 9, 12, 15, 20, 30} {
@@ -48,24 +71,29 @@ func sweepThreshold() {
 		if e, err := baseline.EnrollTraditional(delays, rth); err == nil {
 			trad = e.Response.Len()
 		}
-		c1 := enrolledBits(pairs, core.Case1, rth)
-		c2 := enrolledBits(pairs, core.Case2, rth)
+		c1 := bitsAboveThreshold(rep.Results[0].Enrollment, rth)
+		c2 := bitsAboveThreshold(rep.Results[1].Enrollment, rth)
 		fmt.Printf("%10.1f %12d %12d %12d\n", rth, trad, c1, c2)
 	}
 	fmt.Println()
 }
 
-func enrolledBits(pairs []core.Pair, mode core.Mode, rth float64) int {
-	e, err := core.Enroll(pairs, mode, rth, core.Options{})
-	if err != nil {
-		return 0
+// bitsAboveThreshold counts the enrolled pairs whose margin survives rth.
+func bitsAboveThreshold(e *core.Enrollment, rth float64) int {
+	n := 0
+	for i, sel := range e.Selections {
+		if e.Mask[i] && sel.Margin >= rth {
+			n++
+		}
 	}
-	return e.NumBits()
+	return n
 }
 
 // sweepRingLength shows voltage-variation reliability versus ring length
-// on a VT-style environment board.
-func sweepRingLength() {
+// on a VT-style environment board: each ring length is one fleet device,
+// enrolled at the nominal condition and evaluated across the voltage sweep
+// in a single concurrent batch.
+func sweepRingLength(counters *metrics.FleetCounters) {
 	cfg := dataset.DefaultVTConfig()
 	cfg.NumBoards = 6
 	cfg.NumEnvBoards = 1
@@ -79,30 +107,64 @@ func sweepRingLength() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("voltage-sweep flip rate (% of bit positions) vs ring length:")
-	fmt.Printf("%6s %8s %14s %14s\n", "n", "bits", "configurable", "traditional")
-	for _, n := range []int{3, 5, 7, 9, 11, 13, 15} {
-		numPairs, _, err := dataset.GroupBitsPerBoard(len(nominal), n)
+	ns := []int{3, 5, 7, 9, 11, 13, 15}
+
+	pairsFor := func(periods []float64, n int) []core.Pair {
+		numPairs, _, err := dataset.GroupBitsPerBoard(len(periods), n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pairsFor := func(cond dataset.Condition) []core.Pair {
-			periods, err := board.PeriodsPS(cond)
+		out := make([]core.Pair, numPairs)
+		for p := 0; p < numPairs; p++ {
+			base := p * 2 * n
+			out[p] = core.Pair{Alpha: periods[base : base+n], Beta: periods[base+n : base+2*n]}
+		}
+		return out
+	}
+
+	// One fleet device per ring length, enrolled at the nominal condition.
+	devices := make([]fleet.Device, len(ns))
+	for i, n := range ns {
+		devices[i] = fleet.Device{ID: fmt.Sprintf("n=%d", n), Pairs: pairsFor(nominal, n)}
+	}
+	rep, err := fleet.Enroll(context.Background(), devices, fleet.Options{Mode: core.Case1, Counters: counters})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate every enrollment across the non-nominal sweep conditions,
+	// referenced against the enrolled response.
+	jobs := make([]fleet.EvalJob, len(ns))
+	for i, res := range rep.Results {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		var envs [][]core.Pair
+		for _, c := range sweep {
+			if c == dataset.NominalCondition {
+				continue
+			}
+			periods, err := board.PeriodsPS(c)
 			if err != nil {
 				log.Fatal(err)
 			}
-			out := make([]core.Pair, numPairs)
-			for p := 0; p < numPairs; p++ {
-				base := p * 2 * n
-				out[p] = core.Pair{Alpha: periods[base : base+n], Beta: periods[base+n : base+2*n]}
-			}
-			return out
+			envs = append(envs, pairsFor(periods, ns[i]))
 		}
-		enr, err := core.Enroll(pairsFor(dataset.NominalCondition), core.Case1, 0, core.Options{})
-		if err != nil {
-			log.Fatal(err)
+		jobs[i] = fleet.EvalJob{ID: res.ID, Enrollment: res.Enrollment, Envs: envs, RefEnv: -1}
+	}
+	evalRep, err := fleet.Evaluate(context.Background(), jobs, fleet.Options{Counters: counters})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("voltage-sweep flip rate (% of bit positions) vs ring length:")
+	fmt.Printf("%6s %8s %14s %14s\n", "n", "bits", "configurable", "traditional")
+	for i, n := range ns {
+		res := evalRep.Results[i]
+		if res.Err != nil {
+			log.Fatal(res.Err)
 		}
-		confFlips := flipPercent(enr, pairsFor, sweep)
+		numPairs := len(devices[i].Pairs)
 
 		budget := 2 * n * numPairs
 		trad, err := baseline.EnrollTraditional(nominal[:budget], 0)
@@ -122,32 +184,15 @@ func sweepRingLength() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			for i := 0; i < resp.Len(); i++ {
-				if resp.Bit(i) != trad.Response.Bit(i) {
-					tradFlipped[i] = true
+			for b := 0; b < resp.Len(); b++ {
+				if resp.Bit(b) != trad.Response.Bit(b) {
+					tradFlipped[b] = true
 				}
 			}
 		}
 		tradPct := 100 * float64(len(tradFlipped)) / float64(trad.Response.Len())
-		fmt.Printf("%6d %8d %13.2f%% %13.2f%%\n", n, numPairs, confFlips, tradPct)
+		fmt.Printf("%6d %8d %13.2f%% %13.2f%%\n", n, numPairs,
+			res.Reliability.FlippedPositionPercent(), tradPct)
 	}
-}
-
-func flipPercent(enr *core.Enrollment, pairsFor func(dataset.Condition) []core.Pair, sweep []dataset.Condition) float64 {
-	flipped := map[int]bool{}
-	for _, c := range sweep {
-		if c == dataset.NominalCondition {
-			continue
-		}
-		resp, err := enr.Evaluate(pairsFor(c))
-		if err != nil {
-			log.Fatal(err)
-		}
-		for i := 0; i < resp.Len(); i++ {
-			if resp.Bit(i) != enr.Response.Bit(i) {
-				flipped[i] = true
-			}
-		}
-	}
-	return 100 * float64(len(flipped)) / float64(enr.Response.Len())
+	fmt.Println()
 }

@@ -322,7 +322,10 @@ func ExhaustiveCase1(alpha, beta []float64, opt Options) (Selection, error) {
 			bestMargin, bestMask = m, mask
 		}
 	}
-	if bestMargin < 0 {
+	// A best margin of exactly 0 is only possible when every Δd is zero
+	// (any nonzero Δd yields a positive-margin singleton, odd or not),
+	// which SelectCase1 reports as ErrDegenerate — mirror that contract.
+	if bestMargin <= 0 {
 		return Selection{}, ErrDegenerate
 	}
 	cfg := circuit.NewConfig(n)

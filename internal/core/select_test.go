@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -327,6 +328,96 @@ func TestModeString(t *testing.T) {
 	}
 	if Mode(9).String() != "Mode(9)" {
 		t.Fatalf("unknown mode string = %s", Mode(9))
+	}
+}
+
+// assertOddMatchesExhaustive compares both fast solvers against their
+// brute-force references under RequireOddStages, accepting only matching
+// errors or matching optimal margins with odd selected-stage counts.
+func assertOddMatchesExhaustive(t *testing.T, label string, alpha, beta []float64) {
+	t.Helper()
+	opt := Options{RequireOddStages: true}
+	fast1, errFast1 := SelectCase1(alpha, beta, opt)
+	ref1, errRef1 := ExhaustiveCase1(alpha, beta, opt)
+	switch {
+	case errFast1 != nil || errRef1 != nil:
+		if !errors.Is(errFast1, ErrDegenerate) || !errors.Is(errRef1, ErrDegenerate) {
+			t.Fatalf("%s: Case-1 errors fast=%v ref=%v", label, errFast1, errRef1)
+		}
+	default:
+		if fast1.X.Ones()%2 != 1 {
+			t.Fatalf("%s: Case-1 selected %d stages, want odd", label, fast1.X.Ones())
+		}
+		if math.Abs(fast1.Margin-ref1.Margin) > 1e-9 {
+			t.Fatalf("%s: Case-1 margin %.9f != exhaustive %.9f\nα=%v\nβ=%v",
+				label, fast1.Margin, ref1.Margin, alpha, beta)
+		}
+	}
+	if len(alpha) > 12 {
+		return // beyond ExhaustiveCase2's reach
+	}
+	fast2, errFast2 := SelectCase2(alpha, beta, opt)
+	ref2, errRef2 := ExhaustiveCase2(alpha, beta, opt)
+	if errFast2 != nil || errRef2 != nil {
+		t.Fatalf("%s: Case-2 errors fast=%v ref=%v", label, errFast2, errRef2)
+	}
+	if fast2.X.Ones()%2 != 1 || fast2.X.Ones() != fast2.Y.Ones() {
+		t.Fatalf("%s: Case-2 selected %d/%d stages, want equal odd", label, fast2.X.Ones(), fast2.Y.Ones())
+	}
+	if math.Abs(fast2.Margin-ref2.Margin) > 1e-9 {
+		t.Fatalf("%s: Case-2 margin %.9f != exhaustive %.9f\nα=%v\nβ=%v",
+			label, fast2.Margin, ref2.Margin, alpha, beta)
+	}
+}
+
+// TestSelectOddAdversarialCases certifies the greedy odd-parity repair in
+// bestOddCase1 (and the odd-k Case-2 scan) on the inputs where a greedy
+// fix is most likely to go wrong: exact ties between the sign classes
+// (Δ+ == |Δ−|), zero-Δd stages usable as free parity fillers, and
+// single-stage vectors.
+func TestSelectOddAdversarialCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		alpha, beta []float64
+	}{
+		// Δd = [+2, −2]: exact tie Δ+ == |Δ−|, both classes even.
+		{"exact tie", []float64{3, 1}, []float64{1, 3}},
+		// Δd = [+2, −2, 0]: the zero stage is a free parity filler.
+		{"tie with zero filler", []float64{3, 1, 5}, []float64{1, 3, 5}},
+		// Δd = [+1, +1, 0]: even positive class; adding the zero stage is
+		// strictly cheaper than dropping a member.
+		{"zero filler beats drop", []float64{2, 2, 4}, []float64{1, 1, 4}},
+		// Δd = [+1, +1]: even class, no filler — the repair must drop.
+		{"forced drop", []float64{2, 2}, []float64{1, 1}},
+		// Δd = [+5, +1, −1]: repairing the positive class by adding the
+		// small negative stage beats dropping the small positive one.
+		{"cross-class filler", []float64{6, 2, 1}, []float64{1, 1, 2}},
+		// Δd = [+3, −3, +1, −1]: ties everywhere, all classes even.
+		{"double tie", []float64{4, 1, 2, 1}, []float64{1, 4, 1, 2}},
+		// Single-stage vectors: the smallest odd problem.
+		{"single stage positive", []float64{2}, []float64{1}},
+		{"single stage negative", []float64{1}, []float64{2}},
+		// Δd = [0, 0, +1]: zeros dominate; only one informative stage.
+		{"zeros dominate", []float64{5, 5, 6}, []float64{5, 5, 5}},
+		// Δd = [0, 0]: nothing usable in Case-1 (degenerate), while the
+		// Case-2 solver must still pick an odd single pair at margin 0.
+		{"all zero", []float64{5, 5}, []float64{5, 5}},
+	}
+	for _, c := range cases {
+		assertOddMatchesExhaustive(t, c.name, c.alpha, c.beta)
+	}
+}
+
+// TestSelectOddTieRichMatchesExhaustive hammers the odd-parity paths with
+// small-integer delay vectors (randVecs kind 2), the regime saturated with
+// exact ties and zero-Δd stages that the Gaussian-input property tests
+// never produce.
+func TestSelectOddTieRichMatchesExhaustive(t *testing.T) {
+	r := rngx.New(11)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(10)
+		alpha, beta := randVecs(r, n, 2)
+		assertOddMatchesExhaustive(t, fmt.Sprintf("trial %d (n=%d)", trial, n), alpha, beta)
 	}
 }
 

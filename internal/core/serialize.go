@@ -91,6 +91,12 @@ func LoadEnrollment(r io.Reader) (*Enrollment, error) {
 		Response:  resp,
 	}
 	kept := 0
+	// A device has one physical ring length, so every stored configuration
+	// must share one stage count n (masked pairs store no configuration and
+	// are exempt). Mixed lengths mean the file was corrupted or hand-edited
+	// and would otherwise surface later as confusing per-pair Evaluate
+	// length errors — or silently mix ring sizes.
+	stageCount := -1
 	for i, sj := range in.Selections {
 		var sel Selection
 		if sj.X != "" {
@@ -104,6 +110,12 @@ func LoadEnrollment(r io.Reader) (*Enrollment, error) {
 			}
 			if len(x) != len(y) {
 				return nil, fmt.Errorf("core: selection %d config lengths differ (%d vs %d)", i, len(x), len(y))
+			}
+			if stageCount == -1 {
+				stageCount = len(x)
+			} else if len(x) != stageCount {
+				return nil, fmt.Errorf("core: selection %d has %d stages but earlier selections have %d (mixed ring sizes)",
+					i, len(x), stageCount)
 			}
 			sel = Selection{X: x, Y: y, Margin: sj.Margin, Bit: sj.Bit}
 		} else if in.Mask[i] {

@@ -133,3 +133,38 @@ func TestLoadEnrollmentRejectsInconsistentMask(t *testing.T) {
 		t.Fatal("x/y config length mismatch accepted")
 	}
 }
+
+func TestLoadEnrollmentRejectsMixedStageCounts(t *testing.T) {
+	// Internally consistent per selection (x/y lengths match, bits agree
+	// with the response) but the two selections disagree on the ring's
+	// stage count — only the uniform-n check can reject this.
+	in := `{
+	  "version": 1, "mode": 1, "threshold": 0,
+	  "selections": [
+	    {"x": "101", "y": "101", "margin": 3, "bit": true},
+	    {"x": "1011", "y": "1011", "margin": 2, "bit": true}
+	  ],
+	  "mask": [true, true],
+	  "response": "11"
+	}`
+	_, err := LoadEnrollment(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("mixed per-selection stage counts accepted")
+	}
+	if !strings.Contains(err.Error(), "mixed ring sizes") {
+		t.Fatalf("error %q does not explain the mixed stage counts", err)
+	}
+	// A masked pair with no configuration must stay exempt from the check.
+	ok := `{
+	  "version": 1, "mode": 1, "threshold": 0,
+	  "selections": [
+	    {"x": "", "y": "", "margin": 0, "bit": false},
+	    {"x": "1011", "y": "1011", "margin": 2, "bit": true}
+	  ],
+	  "mask": [false, true],
+	  "response": "1"
+	}`
+	if _, err := LoadEnrollment(strings.NewReader(ok)); err != nil {
+		t.Fatalf("masked empty selection rejected: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -384,7 +385,7 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("parallel sweep in short mode")
 	}
-	par, err := sharedRunner.RunAllParallel(4)
+	par, err := sharedRunner.RunAllParallel(context.Background(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

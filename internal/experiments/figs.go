@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"ropuf/internal/bits"
 	"ropuf/internal/core"
 	"ropuf/internal/dataset"
+	"ropuf/internal/fleet"
 	"ropuf/internal/metrics"
 )
 
@@ -79,45 +81,49 @@ func reliabilityCell(b *dataset.Board, n int, mode core.Mode, sweep []dataset.Co
 		return nil, err
 	}
 
-	// Configurable PUF: one bar per configuration condition.
-	for _, confCond := range sweep {
-		confPairs, err := groupPairs(delays[confCond], n)
+	// Configurable PUF: one bar per configuration condition. The sweep's
+	// enrollments are one fleet batch — each configuration condition is a
+	// "device" enrolled and evaluated concurrently, compared against its
+	// own regeneration at the nominal condition.
+	refEnv := -1
+	envs := make([][]core.Pair, len(sweep))
+	for i, c := range sweep {
+		pairs, err := groupPairs(delays[c], n)
 		if err != nil {
 			return nil, err
 		}
-		enr, err := core.Enroll(confPairs, mode, 0, core.Options{})
-		if err != nil {
-			return nil, err
+		envs[i] = pairs
+		if c == dataset.NominalCondition {
+			refEnv = i
 		}
-		// Baseline output at the nominal condition with this configuration.
-		nomPairs, err := groupPairs(nominal, n)
-		if err != nil {
-			return nil, err
+	}
+	if refEnv < 0 {
+		return nil, fmt.Errorf("experiments: sweep %v lacks the nominal condition", condLabels(sweep))
+	}
+	devices := make([]fleet.Device, len(sweep))
+	for i, c := range sweep {
+		devices[i] = fleet.Device{ID: c.String(), Pairs: envs[i]}
+	}
+	enrollRep, err := fleet.Enroll(context.Background(), devices, fleet.Options{Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]fleet.EvalJob, len(sweep))
+	for i, res := range enrollRep.Results {
+		if res.Err != nil {
+			return nil, res.Err
 		}
-		baselineResp, err := enr.Evaluate(nomPairs)
-		if err != nil {
-			return nil, err
+		jobs[i] = fleet.EvalJob{ID: res.ID, Enrollment: res.Enrollment, Envs: envs, RefEnv: refEnv}
+	}
+	evalRep, err := fleet.Evaluate(context.Background(), jobs, fleet.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range evalRep.Results {
+		if res.Err != nil {
+			return nil, res.Err
 		}
-		var regen []*bits.Stream
-		for _, c := range sweep {
-			if c == dataset.NominalCondition {
-				continue
-			}
-			pairs, err := groupPairs(delays[c], n)
-			if err != nil {
-				return nil, err
-			}
-			resp, err := enr.Evaluate(pairs)
-			if err != nil {
-				return nil, err
-			}
-			regen = append(regen, resp)
-		}
-		rel, err := metrics.ComputeReliability(baselineResp, regen)
-		if err != nil {
-			return nil, err
-		}
-		bars = append(bars, rel.FlippedPositionPercent())
+		bars = append(bars, res.Reliability.FlippedPositionPercent())
 	}
 
 	// Traditional and 1-out-of-8 PUFs consume the same RO budget: the first

@@ -8,6 +8,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -148,11 +150,12 @@ func (r *Runner) RunAll() ([]*Result, error) {
 // workers; <= 0 means one per experiment) and returns the results in
 // presentation order. Datasets are generated once up front so the workers
 // contend only on read access.
-func (r *Runner) RunAllParallel(workers int) ([]*Result, error) {
-	ids := IDs()
-	if workers <= 0 || workers > len(ids) {
-		workers = len(ids)
-	}
+//
+// The first experiment failure (or a context cancellation) stops further
+// dispatch; experiments already in flight finish, and their results are
+// returned alongside the aggregated error so completed work is never
+// discarded. Result slots for experiments that were not run are nil.
+func (r *Runner) RunAllParallel(ctx context.Context, workers int) ([]*Result, error) {
 	// Warm dataset caches before fanning out.
 	if _, err := r.VT(); err != nil {
 		return nil, err
@@ -160,8 +163,19 @@ func (r *Runner) RunAllParallel(workers int) ([]*Result, error) {
 	if _, err := r.InHouse(); err != nil {
 		return nil, err
 	}
+	return runParallel(ctx, IDs(), workers, r.Run)
+}
+
+// runParallel is the worker-pool core of RunAllParallel, split out so tests
+// can inject failing experiments.
+func runParallel(ctx context.Context, ids []string, workers int, run func(string) (*Result, error)) ([]*Result, error) {
+	if workers <= 0 || workers > len(ids) {
+		workers = len(ids)
+	}
 	results := make([]*Result, len(ids))
 	errs := make([]error, len(ids))
+	failed := make(chan struct{})
+	var failOnce sync.Once
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -169,19 +183,42 @@ func (r *Runner) RunAllParallel(workers int) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = r.Run(ids[i])
+				// A job dispatched in the same instant the batch failed or
+				// was cancelled is skipped, not run.
+				select {
+				case <-failed:
+					continue
+				case <-ctx.Done():
+					continue
+				default:
+				}
+				results[i], errs[i] = run(ids[i])
+				if errs[i] != nil {
+					failOnce.Do(func() { close(failed) })
+				}
 			}
 		}()
 	}
+dispatching:
 	for i := range ids {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-failed:
+			break dispatching
+		case <-ctx.Done():
+			break dispatching
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	var agg []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", ids[i], err)
+			agg = append(agg, fmt.Errorf("experiments: %s: %w", ids[i], err))
 		}
 	}
-	return results, nil
+	if err := ctx.Err(); err != nil {
+		agg = append(agg, err)
+	}
+	return results, errors.Join(agg...)
 }

@@ -50,6 +50,12 @@ func (c *Counter) CountEdges(r *circuit.Ring, cfg circuit.Config, env silicon.En
 }
 
 // FrequencyMHz returns the counter-derived frequency estimate in MHz.
+//
+// The edge count — taken over the *jittered* gate window the hardware
+// actually opened — is divided by the *nominal* gate width: real counter
+// firmware only knows the window it programmed, so gate jitter surfaces
+// as count error rather than being normalized away. This is the pinned
+// error model of the Counter abstraction.
 func (c *Counter) FrequencyMHz(r *circuit.Ring, cfg circuit.Config, env silicon.Env) (float64, error) {
 	edges, err := c.CountEdges(r, cfg, env)
 	if err != nil {
@@ -83,5 +89,5 @@ func (c *Counter) QuantizationErrorPS(truePeriodPS float64) float64 {
 	if counts < 1 {
 		return math.Inf(1)
 	}
-	return truePeriodPS / counts * 1 // Δperiod ≈ period/counts per ±1 count
+	return truePeriodPS / counts // Δperiod ≈ period/counts per ±1 count
 }

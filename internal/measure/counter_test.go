@@ -129,6 +129,58 @@ func TestQuantizationErrorEdgeCases(t *testing.T) {
 	}
 }
 
+// TestCounterFrequencyUsesNominalGate pins the counter error model:
+// FrequencyMHz divides the edge count observed over the *jittered* gate by
+// the *nominal* gate width, as real counter firmware does (it only knows
+// the window it programmed). Gate jitter must therefore surface as count
+// error, never be normalized away.
+func TestCounterFrequencyUsesNominalGate(t *testing.T) {
+	r := buildRing(t, 5, 46)
+	cfg := circuit.AllSelected(5)
+	// Large jitter so a normalized-by-actual-gate implementation would
+	// visibly diverge from the pinned model.
+	mk := func() *Counter {
+		c := NewCounter(rngx.New(99))
+		c.GatePS = 1e6
+		c.JitterPS = 1e5
+		return c
+	}
+	edges, err := mk().CountEdges(r, cfg, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := mk().FrequencyMHz(r, cfg, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(edges) / 1e6 * 1e6
+	if freq != want {
+		t.Fatalf("FrequencyMHz = %.9f, want edges/nominal gate = %.9f", freq, want)
+	}
+	// With 10% gate jitter the count itself must differ from the noiseless
+	// count — proof the jitter landed in the edge count, not the divisor.
+	noiseless, err := noiselessCounter(1e6).CountEdges(r, cfg, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges == noiseless {
+		t.Fatal("jittered count equals noiseless count; jitter not applied to the window")
+	}
+}
+
+// TestQuantizationErrorModel pins QuantizationErrorPS to period²/gate:
+// one count out of gate/period counts.
+func TestQuantizationErrorModel(t *testing.T) {
+	c := noiselessCounter(1e8)
+	for _, period := range []float64{500, 1234.5, 9e4} {
+		got := c.QuantizationErrorPS(period)
+		want := period * period / c.GatePS
+		if math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("QuantizationErrorPS(%g) = %g, want period²/gate = %g", period, got, want)
+		}
+	}
+}
+
 func TestCounterJitterBounded(t *testing.T) {
 	r := buildRing(t, 5, 45)
 	cfg := circuit.AllSelected(5)

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FleetCounters aggregates the per-stage progress counters of a batch
+// enrollment/evaluation run. All count fields are safe for concurrent
+// update from worker goroutines; stage wall-clocks are guarded by a mutex
+// because they are written once per stage, not per device.
+type FleetCounters struct {
+	// DevicesEnrolled / DevicesFailed partition the enrollment batch.
+	DevicesEnrolled atomic.Int64
+	DevicesFailed   atomic.Int64
+
+	// PairsKept counts pairs whose margin met the enrollment threshold;
+	// PairsRejected counts pairs masked out (below threshold or degenerate).
+	PairsKept     atomic.Int64
+	PairsRejected atomic.Int64
+
+	// Evaluations / EvalErrors partition the evaluation batch. BitFlips
+	// sums response-vs-reference flips across all evaluated devices.
+	Evaluations atomic.Int64
+	EvalErrors  atomic.Int64
+	BitFlips    atomic.Int64
+
+	mu     sync.Mutex
+	stages map[string]time.Duration
+}
+
+// AddStageTime accumulates wall-clock time under a named stage
+// (e.g. "enroll", "evaluate").
+func (c *FleetCounters) AddStageTime(stage string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stages == nil {
+		c.stages = make(map[string]time.Duration)
+	}
+	c.stages[stage] += d
+}
+
+// StageTime returns the accumulated wall-clock time of a stage.
+func (c *FleetCounters) StageTime(stage string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stages[stage]
+}
+
+// Stages lists the recorded stage names in sorted order.
+func (c *FleetCounters) Stages() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.stages))
+	for s := range c.stages {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a one-look summary of the run.
+func (c *FleetCounters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "devices: %d enrolled, %d failed; pairs: %d kept, %d rejected",
+		c.DevicesEnrolled.Load(), c.DevicesFailed.Load(),
+		c.PairsKept.Load(), c.PairsRejected.Load())
+	if n := c.Evaluations.Load() + c.EvalErrors.Load(); n > 0 {
+		fmt.Fprintf(&b, "; evals: %d ok, %d failed, %d bit flips",
+			c.Evaluations.Load(), c.EvalErrors.Load(), c.BitFlips.Load())
+	}
+	for _, s := range c.Stages() {
+		fmt.Fprintf(&b, "; %s %s", s, c.StageTime(s).Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFleetCountersConcurrentUpdates(t *testing.T) {
+	var c FleetCounters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.DevicesEnrolled.Add(1)
+				c.PairsKept.Add(3)
+				c.PairsRejected.Add(1)
+				c.AddStageTime("enroll", time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.DevicesEnrolled.Load(); got != 800 {
+		t.Fatalf("DevicesEnrolled = %d, want 800", got)
+	}
+	if got := c.PairsKept.Load(); got != 2400 {
+		t.Fatalf("PairsKept = %d, want 2400", got)
+	}
+	if got := c.StageTime("enroll"); got != 800*time.Millisecond {
+		t.Fatalf("StageTime(enroll) = %v, want 800ms", got)
+	}
+}
+
+func TestFleetCountersStagesSorted(t *testing.T) {
+	var c FleetCounters
+	c.AddStageTime("evaluate", time.Second)
+	c.AddStageTime("enroll", time.Second)
+	got := c.Stages()
+	if len(got) != 2 || got[0] != "enroll" || got[1] != "evaluate" {
+		t.Fatalf("Stages() = %v, want [enroll evaluate]", got)
+	}
+	if c.StageTime("missing") != 0 {
+		t.Fatal("unknown stage should report zero time")
+	}
+}
+
+func TestFleetCountersString(t *testing.T) {
+	var c FleetCounters
+	c.DevicesEnrolled.Add(5)
+	c.DevicesFailed.Add(1)
+	c.PairsKept.Add(100)
+	c.PairsRejected.Add(20)
+	s := c.String()
+	for _, want := range []string{"5 enrolled", "1 failed", "100 kept", "20 rejected"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "evals") {
+		t.Errorf("String() = %q mentions evals with none recorded", s)
+	}
+	c.Evaluations.Add(7)
+	c.BitFlips.Add(2)
+	if s := c.String(); !strings.Contains(s, "7 ok") || !strings.Contains(s, "2 bit flips") {
+		t.Errorf("String() = %q missing eval summary", s)
+	}
+}
