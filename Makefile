@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench fleet-bench
+.PHONY: all build test verify bench bench-all fleet-bench
 
 all: build test
 
@@ -19,7 +19,14 @@ verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# Perf trajectory: run the fleet enrollment/evaluation benchmarks with
+# -benchmem and record name -> ns/op, B/op, allocs/op in BENCH_fleet.json
+# (cmd/benchjson echoes the raw output so CI logs keep the numbers).
 bench:
+	$(GO) test -run xxx -bench 'BenchmarkFleet(Enroll|Evaluate)' -benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson -o BENCH_fleet.json
+
+# Every benchmark in the tree, one iteration each (smoke, not measurement).
+bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # Serial-vs-parallel fleet enrollment comparison.

@@ -17,7 +17,9 @@ import (
 	"ropuf/internal/fleet"
 	"ropuf/internal/fuzzy"
 	"ropuf/internal/measure"
+	"ropuf/internal/metrics"
 	"ropuf/internal/nist"
+	"ropuf/internal/obs"
 	"ropuf/internal/rngx"
 	"ropuf/internal/silicon"
 )
@@ -324,6 +326,27 @@ func BenchmarkFleetEnroll1Worker(b *testing.B)  { benchFleetEnroll(b, 1) }
 func BenchmarkFleetEnroll2Workers(b *testing.B) { benchFleetEnroll(b, 2) }
 func BenchmarkFleetEnroll4Workers(b *testing.B) { benchFleetEnroll(b, 4) }
 func BenchmarkFleetEnroll8Workers(b *testing.B) { benchFleetEnroll(b, 8) }
+
+// BenchmarkFleetEnroll8WorkersInstrumented measures the fully observed
+// path — counters with per-device latency histograms plus a span per
+// device into a ring sink — to pin the observability overhead next to the
+// uninstrumented pool numbers.
+func BenchmarkFleetEnroll8WorkersInstrumented(b *testing.B) {
+	devices := fleetBatch(b)
+	tracer := obs.NewTracer(obs.NewRingSink(1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counters := &metrics.FleetCounters{}
+		rep, err := fleet.Enroll(context.Background(), devices,
+			fleet.Options{Workers: 8, Mode: core.Case2, Counters: counters, Tracer: tracer})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			b.Fatalf("%d devices failed", rep.Failed)
+		}
+	}
+}
 
 // BenchmarkFleetEvaluate8Workers measures the evaluation stage: every
 // enrolled device re-measured under three noisy environments.

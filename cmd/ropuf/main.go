@@ -4,13 +4,21 @@
 //
 // Usage:
 //
-//	ropuf [-out dir] [-parallel N] list|all|experiment <id>...|verify|fleet
+//	ropuf [-out dir] [-parallel N] [-metrics-addr addr] [-trace-out file]
+//	      list|all|experiment <id>...|verify|fleet
 //
 //	ropuf list                 print available experiment IDs
 //	ropuf experiment <id>...   run one or more experiments (or "all")
 //	ropuf all                  shorthand for "experiment all"
 //	ropuf verify               check the headline reproduction claims
 //	ropuf fleet [flags]        enroll + evaluate a synthetic device fleet concurrently
+//
+// Long-running commands (all, fleet) are observable while they run:
+// -metrics-addr serves /metrics (Prometheus text), /healthz, and
+// /debug/pprof on the given address, and -trace-out streams span events as
+// JSON lines. Ctrl-C cancels the batch cleanly — completed work is
+// reported, counters are printed, and the trace file is flushed before
+// exit.
 package main
 
 import (
@@ -19,7 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"ropuf/internal/circuit"
@@ -27,11 +37,14 @@ import (
 	"ropuf/internal/experiments"
 	"ropuf/internal/fleet"
 	"ropuf/internal/metrics"
+	"ropuf/internal/obs"
 )
 
 var (
-	outDir   = flag.String("out", "", "also write each experiment report to <dir>/<id>.txt")
-	parallel = flag.Int("parallel", 0, "run 'all' with N concurrent workers (0 = sequential)")
+	outDir      = flag.String("out", "", "also write each experiment report to <dir>/<id>.txt")
+	parallel    = flag.Int("parallel", 0, "run 'all' with N concurrent workers (0 = sequential)")
+	metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while the command runs")
+	traceOut    = flag.String("trace-out", "", "write span events as JSON lines to this file")
 )
 
 func main() {
@@ -42,7 +55,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(args); err != nil {
+	// Ctrl-C / SIGTERM cancel the in-flight batch; the command paths report
+	// completed work and flush counters and traces before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, args); err != nil {
 		fmt.Fprintln(os.Stderr, "ropuf:", err)
 		os.Exit(1)
 	}
@@ -57,10 +74,14 @@ func usage() {
   ropuf rtl [stages]         emit the Fig. 1 architecture as Verilog (default 5 stages)
   ropuf fleet [flags]        enroll + evaluate a synthetic device fleet concurrently
                              (see 'ropuf fleet -h' for flags)
+
+observability (before the subcommand; 'fleet' also accepts them after):
+  -metrics-addr addr         serve /metrics, /healthz, /debug/pprof while running
+  -trace-out file            stream span events as JSON lines
 `)
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	switch args[0] {
 	case "list":
 		for _, id := range experiments.IDs() {
@@ -68,21 +89,65 @@ func run(args []string) error {
 		}
 		return nil
 	case "all":
-		return runExperiments([]string{"all"})
+		return runExperiments(ctx, []string{"all"})
 	case "experiment", "exp":
 		if len(args) < 2 {
 			return fmt.Errorf("experiment requires at least one ID (try 'ropuf list')")
 		}
-		return runExperiments(args[1:])
+		return runExperiments(ctx, args[1:])
 	case "verify":
 		return runVerify()
 	case "rtl":
 		return runRTL(args[1:])
 	case "fleet":
-		return runFleet(args[1:])
+		return runFleet(ctx, args[1:])
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// obsSession wires the optional observability endpoints of a long-running
+// command: a metric registry (always), an HTTP server when addr is set, and
+// a JSONL span trace when tracePath is set.
+type obsSession struct {
+	Registry  *obs.Registry
+	Tracer    *obs.Tracer
+	server    *obs.Server
+	traceFile *os.File
+}
+
+func openObs(addr, tracePath string) (*obsSession, error) {
+	s := &obsSession{Registry: obs.NewRegistry()}
+	if addr != "" {
+		srv, err := obs.Serve(addr, s.Registry)
+		if err != nil {
+			return nil, err
+		}
+		s.server = srv
+		fmt.Fprintf(os.Stderr, "serving /metrics, /healthz, /debug/pprof on http://%s\n", srv.Addr())
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("trace output: %w", err)
+		}
+		s.traceFile = f
+		s.Tracer = obs.NewTracer(obs.NewJSONLSink(f))
+	}
+	return s, nil
+}
+
+// Close flushes the trace file and stops the metrics server. Safe on a
+// partially opened session.
+func (s *obsSession) Close() {
+	if s.server != nil {
+		_ = s.server.Close()
+	}
+	if s.traceFile != nil {
+		_ = s.traceFile.Sync()
+		_ = s.traceFile.Close()
 	}
 }
 
@@ -101,8 +166,10 @@ func runRTL(args []string) error {
 
 // runFleet exercises the batch layer end to end: fabricate a synthetic
 // device fleet, enroll it concurrently, re-measure every device under
-// noisy environments, and report throughput plus the fleet counters.
-func runFleet(args []string) error {
+// noisy environments, and report throughput plus the fleet counters. With
+// -metrics-addr the whole run is scrapable live; cancellation (Ctrl-C)
+// stops dispatch, reports what completed, and still prints the counters.
+func runFleet(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
 	numDevices := fs.Int("devices", 256, "number of synthetic devices")
 	pairs := fs.Int("pairs", 32, "PUF pairs per device")
@@ -113,6 +180,8 @@ func runFleet(args []string) error {
 	envs := fs.Int("envs", 3, "noisy re-measurement environments per device")
 	noise := fs.Float64("noise", 2, "re-measurement noise sigma (ps)")
 	seed := fs.Uint64("seed", 1, "fleet fabrication seed")
+	addr := fs.String("metrics-addr", *metricsAddr, "serve /metrics, /healthz and /debug/pprof on this address while the batch runs")
+	trace := fs.String("trace-out", *traceOut, "write span events as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -133,13 +202,19 @@ func runFleet(args []string) error {
 	if err != nil {
 		return err
 	}
-	counters := &metrics.FleetCounters{}
-	opt := fleet.Options{Workers: *workers, Mode: mode, Threshold: *threshold, Counters: counters}
-	ctx := context.Background()
-
-	rep, err := fleet.Enroll(ctx, devices, opt)
+	session, err := openObs(*addr, *trace)
 	if err != nil {
 		return err
+	}
+	defer session.Close()
+	counters := &metrics.FleetCounters{}
+	counters.Bind(session.Registry)
+	opt := fleet.Options{Workers: *workers, Mode: mode, Threshold: *threshold,
+		Counters: counters, Tracer: session.Tracer}
+
+	rep, batchErr := fleet.Enroll(ctx, devices, opt)
+	if rep == nil {
+		return batchErr
 	}
 	fmt.Printf("enrolled %d/%d devices (%s, Rth=%g ps) in %s — %.0f devices/s\n",
 		rep.Enrolled, len(devices), mode, *threshold, rep.Elapsed.Round(time.Microsecond),
@@ -148,6 +223,12 @@ func runFleet(args []string) error {
 		if res.Err != nil {
 			fmt.Printf("  %v\n", res.Err)
 		}
+	}
+	if batchErr != nil {
+		// Cancelled mid-batch: everything completed is already reported;
+		// surface the counters before bubbling the cancellation up.
+		fmt.Printf("counters: %s\n", counters)
+		return batchErr
 	}
 
 	jobs := make([]fleet.EvalJob, 0, len(devices))
@@ -164,15 +245,18 @@ func runFleet(args []string) error {
 	if len(jobs) == 0 {
 		return errors.New("fleet: no devices enrolled (threshold too high?)")
 	}
-	evalRep, err := fleet.Evaluate(ctx, jobs, opt)
-	if err != nil {
-		return err
+	evalRep, batchErr := fleet.Evaluate(ctx, jobs, opt)
+	if evalRep == nil {
+		return batchErr
 	}
 	totalBits, flips := 0, 0
 	for _, res := range evalRep.Results {
 		if res.Err != nil {
 			fmt.Printf("  %v\n", res.Err)
 			continue
+		}
+		if res.Reliability == nil {
+			continue // not dispatched before cancellation
 		}
 		totalBits += res.Reliability.TotalBits
 		flips += res.Reliability.Flips
@@ -181,7 +265,7 @@ func runFleet(args []string) error {
 		evalRep.Evaluated, *envs, evalRep.Elapsed.Round(time.Microsecond),
 		100*float64(flips)/float64(max(totalBits, 1)), flips, totalBits)
 	fmt.Printf("counters: %s\n", counters)
-	return nil
+	return batchErr
 }
 
 func runVerify() error {
@@ -205,35 +289,49 @@ func runVerify() error {
 	return nil
 }
 
-func runExperiments(ids []string) error {
+func runExperiments(ctx context.Context, ids []string) error {
+	session, err := openObs(*metricsAddr, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
 	r := experiments.NewRunner()
+	r.Tracer = session.Tracer
+	r.Obs = session.Registry
 	all := len(ids) == 1 && ids[0] == "all"
 	if all {
 		ids = experiments.IDs()
 	}
 	var results []*experiments.Result
+	var batchErr error
 	if all && *parallel != 0 {
-		rs, err := r.RunAllParallel(context.Background(), *parallel)
-		if err != nil {
-			return err
-		}
-		results = rs
+		results, batchErr = r.RunAllParallel(ctx, *parallel)
 	} else {
 		for _, id := range ids {
+			if err := ctx.Err(); err != nil {
+				batchErr = err
+				break
+			}
 			res, err := r.Run(id)
 			if err != nil {
-				return err
+				batchErr = err
+				break
 			}
 			results = append(results, res)
 		}
 	}
+	// Completed experiments are printed and persisted even when the batch
+	// was cancelled or a later experiment failed.
 	for _, res := range results {
+		if res == nil {
+			continue
+		}
 		fmt.Println(res.Text)
 		if err := writeReport(res); err != nil {
-			return err
+			return errors.Join(batchErr, err)
 		}
 	}
-	return nil
+	return batchErr
 }
 
 // writeReport persists one experiment's text when -out is set.

@@ -7,36 +7,88 @@
 // per-ring-length enroll/evaluate passes are batch jobs over a bounded
 // worker pool rather than hand-rolled loops.
 //
+// The run is fully observable: fleet counters and per-device latency
+// histograms live in an obs.Registry (serve them live with -metrics-addr),
+// and -trace-out streams every batch/device span as JSON lines.
+//
 // Run with:
 //
-//	go run ./examples/reliability-sweep
+//	go run ./examples/reliability-sweep [-metrics-addr :9090] [-trace-out trace.jsonl]
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"ropuf/internal/baseline"
 	"ropuf/internal/core"
 	"ropuf/internal/dataset"
 	"ropuf/internal/fleet"
 	"ropuf/internal/metrics"
+	"ropuf/internal/obs"
 	"ropuf/internal/silicon"
 )
 
+var (
+	metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while the sweeps run")
+	traceOut    = flag.String("trace-out", "", "write span events as JSON lines to this file")
+)
+
 func main() {
+	flag.Parse()
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving observability endpoints on http://%s\n", srv.Addr())
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(obs.NewJSONLSink(f))
+	}
 	counters := &metrics.FleetCounters{}
-	sweepThreshold(counters)
-	sweepRingLength(counters)
+	counters.Bind(reg)
+	opt := fleet.Options{Counters: counters, Tracer: tracer}
+
+	sweepThreshold(opt)
+	sweepRingLength(opt)
 	fmt.Printf("fleet counters: %s\n", counters)
+	printDeviceLatencies(reg)
+}
+
+// printDeviceLatencies summarizes the per-device latency histograms the
+// fleet engine recorded: observation count and mean per stage.
+func printDeviceLatencies(reg *obs.Registry) {
+	for _, f := range reg.Snapshot().Families {
+		if f.Name != metrics.MetricDeviceSeconds {
+			continue
+		}
+		for _, s := range f.Series {
+			if s.Count == 0 {
+				continue
+			}
+			fmt.Printf("per-device %s latency: %d devices, mean %.1f µs\n",
+				s.Labels["stage"], s.Count, 1e6*s.Sum/float64(s.Count))
+		}
+	}
 }
 
 // sweepThreshold reproduces the §IV.E trade-off on one in-house board:
 // bits surviving an enrollment margin threshold. Both selection modes are
 // enrolled once (threshold 0) in a single fleet batch; the per-Rth yield
 // is then read off the enrolled margins.
-func sweepThreshold(counters *metrics.FleetCounters) {
+func sweepThreshold(opt fleet.Options) {
 	cfg := dataset.DefaultInHouseConfig()
 	cfg.NumBoards = 1
 	boards, err := dataset.GenerateInHouse(cfg)
@@ -55,7 +107,7 @@ func sweepThreshold(counters *metrics.FleetCounters) {
 	rep, err := fleet.Enroll(context.Background(), []fleet.Device{
 		{ID: "case1", Pairs: pairs, Mode: core.Case1},
 		{ID: "case2", Pairs: pairs, Mode: core.Case2},
-	}, fleet.Options{Counters: counters})
+	}, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,7 +145,7 @@ func bitsAboveThreshold(e *core.Enrollment, rth float64) int {
 // on a VT-style environment board: each ring length is one fleet device,
 // enrolled at the nominal condition and evaluated across the voltage sweep
 // in a single concurrent batch.
-func sweepRingLength(counters *metrics.FleetCounters) {
+func sweepRingLength(opt fleet.Options) {
 	cfg := dataset.DefaultVTConfig()
 	cfg.NumBoards = 6
 	cfg.NumEnvBoards = 1
@@ -127,7 +179,9 @@ func sweepRingLength(counters *metrics.FleetCounters) {
 	for i, n := range ns {
 		devices[i] = fleet.Device{ID: fmt.Sprintf("n=%d", n), Pairs: pairsFor(nominal, n)}
 	}
-	rep, err := fleet.Enroll(context.Background(), devices, fleet.Options{Mode: core.Case1, Counters: counters})
+	enrollOpt := opt
+	enrollOpt.Mode = core.Case1
+	rep, err := fleet.Enroll(context.Background(), devices, enrollOpt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,7 +206,7 @@ func sweepRingLength(counters *metrics.FleetCounters) {
 		}
 		jobs[i] = fleet.EvalJob{ID: res.ID, Enrollment: res.Enrollment, Envs: envs, RefEnv: -1}
 	}
-	evalRep, err := fleet.Evaluate(context.Background(), jobs, fleet.Options{Counters: counters})
+	evalRep, err := fleet.Evaluate(context.Background(), jobs, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

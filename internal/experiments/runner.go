@@ -13,9 +13,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ropuf/internal/dataset"
+	"ropuf/internal/obs"
 )
+
+// MetricExperimentSeconds is the per-experiment latency histogram a Runner
+// records into its Obs registry, labelled by experiment ID.
+const MetricExperimentSeconds = "ropuf_experiment_duration_seconds"
 
 // Result is one experiment's rendered output.
 type Result struct {
@@ -32,9 +38,17 @@ type Runner struct {
 	VTConfig      *dataset.VTConfig
 	InHouseConfig *dataset.InHouseConfig
 
+	// Tracer, when non-nil, emits one span per executed experiment (and a
+	// parent span around RunAllParallel batches). Obs, when non-nil,
+	// receives the MetricExperimentSeconds latency histogram. Set both
+	// before the first Run.
+	Tracer *obs.Tracer
+	Obs    *obs.Registry
+
 	mu      sync.Mutex
 	vt      *dataset.Dataset
 	inhouse []*dataset.InHouseBoard
+	hist    *obs.HistogramVec
 }
 
 // NewRunner returns a Runner with default dataset parameters.
@@ -124,13 +138,47 @@ func IDs() []string {
 
 // Run executes one experiment by ID.
 func (r *Runner) Run(id string) (*Result, error) {
+	return r.runCtx(context.Background(), id)
+}
+
+// runCtx executes one experiment, wrapping it in a span (parented by ctx)
+// and a latency observation when the runner is instrumented.
+func (r *Runner) runCtx(ctx context.Context, id string) (*Result, error) {
 	fn, ok := r.experimentFns()[id]
 	if !ok {
 		known := IDs()
 		sort.Strings(known)
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
 	}
-	return fn()
+	if r.Tracer == nil && r.Obs == nil {
+		return fn()
+	}
+	_, span := r.Tracer.Start(ctx, "experiment", obs.KV("experiment", id))
+	start := time.Now()
+	res, err := fn()
+	if h := r.histogram(); h != nil {
+		h.With(id).Observe(time.Since(start).Seconds())
+	}
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	return res, err
+}
+
+// histogram lazily registers the per-experiment latency histogram; nil when
+// no Obs registry is configured.
+func (r *Runner) histogram() *obs.HistogramVec {
+	if r.Obs == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hist == nil {
+		r.hist = r.Obs.NewHistogramVec(MetricExperimentSeconds,
+			"Wall-clock time per experiment run.", nil, "experiment")
+	}
+	return r.hist
 }
 
 // RunAll executes every experiment in presentation order.
@@ -163,7 +211,12 @@ func (r *Runner) RunAllParallel(ctx context.Context, workers int) ([]*Result, er
 	if _, err := r.InHouse(); err != nil {
 		return nil, err
 	}
-	return runParallel(ctx, IDs(), workers, r.Run)
+	ctx, span := r.Tracer.Start(ctx, "experiments.all",
+		obs.KV("experiments", fmt.Sprint(len(IDs()))))
+	defer span.End()
+	return runParallel(ctx, IDs(), workers, func(id string) (*Result, error) {
+		return r.runCtx(ctx, id)
+	})
 }
 
 // runParallel is the worker-pool core of RunAllParallel, split out so tests

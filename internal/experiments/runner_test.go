@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"ropuf/internal/obs"
 )
 
 // TestRunParallelStopsDispatchAfterFirstError injects a failing experiment
@@ -92,5 +94,44 @@ func TestRunParallelContextCancellation(t *testing.T) {
 	}
 	if results[0] == nil {
 		t.Fatal("completed result discarded on cancellation")
+	}
+}
+
+// TestRunInstrumented checks that an instrumented runner emits one span and
+// one latency observation per executed experiment, parented under the
+// RunAllParallel batch span when one is open.
+func TestRunInstrumented(t *testing.T) {
+	ring := obs.NewRingSink(8)
+	reg := obs.NewRegistry()
+	sharedRunner.Tracer = obs.NewTracer(ring)
+	sharedRunner.Obs = reg
+	defer func() {
+		sharedRunner.Tracer = nil
+		sharedRunner.Obs = nil
+	}()
+	if _, err := sharedRunner.Run("tableI"); err != nil {
+		t.Fatal(err)
+	}
+	events := ring.Events()
+	if len(events) != 1 {
+		t.Fatalf("%d spans, want 1", len(events))
+	}
+	if events[0].Name != "experiment" || events[0].Attrs["experiment"] != "tableI" {
+		t.Fatalf("span = %+v", events[0])
+	}
+	snap := reg.Snapshot()
+	if len(snap.Families) != 1 || snap.Families[0].Name != MetricExperimentSeconds {
+		t.Fatalf("registry families = %+v", snap.Families)
+	}
+	s := snap.Families[0].Series[0]
+	if s.Labels["experiment"] != "tableI" || s.Count != 1 {
+		t.Fatalf("histogram series = %+v", s)
+	}
+	// Unknown IDs fail before any span or observation is recorded.
+	if _, err := sharedRunner.Run("nonsense"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+	if got := len(ring.Events()); got != 1 {
+		t.Fatalf("unknown ID emitted a span (%d events)", got)
 	}
 }

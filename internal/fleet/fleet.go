@@ -15,7 +15,10 @@
 //     the context error;
 //   - per-stage progress counters (metrics.FleetCounters): devices
 //     enrolled/failed, pairs kept/rejected by the threshold, bit flips
-//     observed during evaluation, and wall-clock per stage.
+//     observed during evaluation, and wall-clock per stage;
+//   - observability (package obs): per-device latency histograms through
+//     the counters' registry, and — with Options.Tracer set — one span per
+//     batch stage with a child span per processed device.
 package fleet
 
 import (
@@ -23,12 +26,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"ropuf/internal/bits"
 	"ropuf/internal/core"
 	"ropuf/internal/metrics"
+	"ropuf/internal/obs"
 )
 
 // Device is one fleet member's enrollment-time measurement: per-pair delay
@@ -53,8 +58,12 @@ type Options struct {
 	// Select carries the per-pair selection options (e.g. RequireOddStages).
 	// Ignored by Evaluate.
 	Select core.Options
-	// Counters, when non-nil, receives per-stage progress counts.
+	// Counters, when non-nil, receives per-stage progress counts plus
+	// per-device latency observations (metrics.MetricDeviceSeconds).
 	Counters *metrics.FleetCounters
+	// Tracer, when non-nil, emits one span per batch stage and one child
+	// span per processed device. A nil tracer costs nothing.
+	Tracer *obs.Tracer
 }
 
 func (o Options) workers() int {
@@ -104,9 +113,15 @@ func Enroll(ctx context.Context, devices []Device, opt Options) (*EnrollReport, 
 		}
 	}
 	start := time.Now()
+	ctx, span := opt.Tracer.Start(ctx, "fleet.enroll",
+		obs.KV("devices", strconv.Itoa(len(devices))),
+		obs.KV("workers", strconv.Itoa(opt.workers())))
 	report := &EnrollReport{Results: make([]DeviceResult, len(devices))}
 	run := func(i int) {
-		report.Results[i] = enrollOne(devices[i], opt)
+		timeDevice(ctx, opt, "enroll", devices[i].ID, func() error {
+			report.Results[i] = enrollOne(devices[i], opt)
+			return report.Results[i].Err
+		})
 	}
 	err := dispatch(ctx, len(devices), opt.workers(), run)
 	report.Elapsed = time.Since(start)
@@ -129,7 +144,30 @@ func Enroll(ctx context.Context, devices []Device, opt Options) (*EnrollReport, 
 		c.PairsRejected.Add(int64(report.PairsRejected))
 		c.AddStageTime("enroll", report.Elapsed)
 	}
+	span.SetAttr("enrolled", strconv.Itoa(report.Enrolled))
+	span.SetAttr("failed", strconv.Itoa(report.Failed))
+	span.End()
 	return report, err
+}
+
+// timeDevice wraps one device's processing with a per-device span and a
+// latency observation. With no tracer and no counters configured the only
+// overhead is two nil checks.
+func timeDevice(ctx context.Context, opt Options, stage, id string, fn func() error) {
+	if opt.Tracer == nil && opt.Counters == nil {
+		_ = fn()
+		return
+	}
+	_, span := opt.Tracer.Start(ctx, "fleet."+stage+".device", obs.KV("device", id))
+	start := time.Now()
+	err := fn()
+	if opt.Counters != nil {
+		opt.Counters.ObserveDevice(stage, time.Since(start))
+	}
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
 }
 
 func (d Device) mode(opt Options) core.Mode {
@@ -202,9 +240,15 @@ func Evaluate(ctx context.Context, jobs []EvalJob, opt Options) (*EvalReport, er
 		return nil, errors.New("fleet: Evaluate with no jobs")
 	}
 	start := time.Now()
+	ctx, span := opt.Tracer.Start(ctx, "fleet.evaluate",
+		obs.KV("jobs", strconv.Itoa(len(jobs))),
+		obs.KV("workers", strconv.Itoa(opt.workers())))
 	report := &EvalReport{Results: make([]EvalResult, len(jobs))}
 	run := func(i int) {
-		report.Results[i] = evalOne(jobs[i])
+		timeDevice(ctx, opt, "evaluate", jobs[i].ID, func() error {
+			report.Results[i] = evalOne(jobs[i])
+			return report.Results[i].Err
+		})
 	}
 	err := dispatch(ctx, len(jobs), opt.workers(), run)
 	report.Elapsed = time.Since(start)
@@ -224,6 +268,9 @@ func Evaluate(ctx context.Context, jobs []EvalJob, opt Options) (*EvalReport, er
 		c.BitFlips.Add(flips)
 		c.AddStageTime("evaluate", report.Elapsed)
 	}
+	span.SetAttr("evaluated", strconv.Itoa(report.Evaluated))
+	span.SetAttr("failed", strconv.Itoa(report.Failed))
+	span.End()
 	return report, err
 }
 

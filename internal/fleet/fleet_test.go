@@ -8,6 +8,7 @@ import (
 
 	"ropuf/internal/core"
 	"ropuf/internal/metrics"
+	"ropuf/internal/obs"
 )
 
 func testFleet(t *testing.T, numDevices int) []Device {
@@ -303,5 +304,110 @@ func TestSyntheticDeterminism(t *testing.T) {
 	}
 	if m1[0].Alpha[0] == before {
 		t.Fatal("Remeasure with sigma > 0 returned the identical measurement")
+	}
+}
+
+// TestEnrollObservability drives a traced, counted batch end to end and
+// checks the emitted spans and per-device latency histograms.
+func TestEnrollObservability(t *testing.T) {
+	devices := testFleet(t, 6)
+	// Poison one device so the error attribute path is covered.
+	devices[3].Pairs = nil
+	ring := obs.NewRingSink(64)
+	counters := &metrics.FleetCounters{}
+	opt := Options{Workers: 2, Mode: core.Case2, Counters: counters, Tracer: obs.NewTracer(ring)}
+	rep, err := Enroll(context.Background(), devices, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Enrolled != 5 || rep.Failed != 1 {
+		t.Fatalf("enrolled %d failed %d, want 5/1", rep.Enrolled, rep.Failed)
+	}
+
+	events := ring.Events()
+	if len(events) != len(devices)+1 {
+		t.Fatalf("%d spans, want %d device spans + 1 batch span", len(events), len(devices))
+	}
+	var batch obs.SpanEvent
+	deviceSpans := 0
+	errored := 0
+	for _, ev := range events {
+		switch ev.Name {
+		case "fleet.enroll":
+			batch = ev
+		case "fleet.enroll.device":
+			deviceSpans++
+			if ev.Attrs["error"] != "" {
+				errored++
+			}
+		default:
+			t.Fatalf("unexpected span %q", ev.Name)
+		}
+	}
+	if deviceSpans != len(devices) || errored != 1 {
+		t.Fatalf("device spans = %d (errored %d), want %d/1", deviceSpans, errored, len(devices))
+	}
+	if batch.Attrs["devices"] != "6" || batch.Attrs["enrolled"] != "5" || batch.Attrs["failed"] != "1" {
+		t.Fatalf("batch span attrs = %v", batch.Attrs)
+	}
+	for _, ev := range events {
+		if ev.Name == "fleet.enroll.device" && ev.ParentID != batch.ID {
+			t.Fatalf("device span not parented to batch span: %+v", ev)
+		}
+	}
+
+	// Per-device latencies land in the counters' registry, one observation
+	// per processed device.
+	snap := counters.Registry().Snapshot()
+	found := false
+	for _, f := range snap.Families {
+		if f.Name != metrics.MetricDeviceSeconds {
+			continue
+		}
+		found = true
+		if len(f.Series) != 1 || f.Series[0].Labels["stage"] != "enroll" {
+			t.Fatalf("device histogram series = %+v", f.Series)
+		}
+		if f.Series[0].Count != int64(len(devices)) {
+			t.Fatalf("device histogram count = %d, want %d", f.Series[0].Count, len(devices))
+		}
+	}
+	if !found {
+		t.Fatalf("registry has no %s family", metrics.MetricDeviceSeconds)
+	}
+}
+
+// TestEvaluateObservability mirrors the enrollment test for the evaluate
+// stage.
+func TestEvaluateObservability(t *testing.T) {
+	devices := testFleet(t, 4)
+	rep, err := Enroll(context.Background(), devices, Options{Mode: core.Case2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]EvalJob, len(devices))
+	for i, res := range rep.Results {
+		jobs[i] = EvalJob{ID: res.ID, Enrollment: res.Enrollment,
+			Envs: [][]core.Pair{Remeasure(devices[i], 1, uint64(i))}, RefEnv: -1}
+	}
+	ring := obs.NewRingSink(64)
+	counters := &metrics.FleetCounters{}
+	evalRep, err := Evaluate(context.Background(), jobs,
+		Options{Workers: 2, Counters: counters, Tracer: obs.NewTracer(ring)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evalRep.Evaluated != len(jobs) {
+		t.Fatalf("evaluated %d, want %d", evalRep.Evaluated, len(jobs))
+	}
+	names := map[string]int{}
+	for _, ev := range ring.Events() {
+		names[ev.Name]++
+	}
+	if names["fleet.evaluate"] != 1 || names["fleet.evaluate.device"] != len(jobs) {
+		t.Fatalf("span counts = %v", names)
+	}
+	if got := counters.StageTime("evaluate"); got <= 0 {
+		t.Fatalf("StageTime(evaluate) = %v, want > 0", got)
 	}
 }

@@ -2,17 +2,41 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ropuf/internal/obs"
+)
+
+// Metric names exported by FleetCounters into its obs.Registry. DESIGN.md
+// §7 documents labels and bucket layouts; dashboards should consume these
+// names rather than reverse-engineering the source.
+const (
+	MetricDevicesEnrolled = "ropuf_fleet_devices_enrolled_total"
+	MetricDevicesFailed   = "ropuf_fleet_devices_failed_total"
+	MetricPairsKept       = "ropuf_fleet_pairs_kept_total"
+	MetricPairsRejected   = "ropuf_fleet_pairs_rejected_total"
+	MetricEvaluations     = "ropuf_fleet_evaluations_total"
+	MetricEvalErrors      = "ropuf_fleet_eval_errors_total"
+	MetricBitFlips        = "ropuf_fleet_bit_flips_total"
+	MetricStageSeconds    = "ropuf_fleet_stage_duration_seconds"
+	MetricDeviceSeconds   = "ropuf_fleet_device_duration_seconds"
 )
 
 // FleetCounters aggregates the per-stage progress counters of a batch
 // enrollment/evaluation run. All count fields are safe for concurrent
-// update from worker goroutines; stage wall-clocks are guarded by a mutex
-// because they are written once per stage, not per device.
+// update from worker goroutines.
+//
+// Stage wall-clocks live in an obs.Registry as latency histograms
+// (MetricStageSeconds for whole-batch stages, MetricDeviceSeconds for
+// per-device latencies); AddStageTime/StageTime remain as a compatibility
+// shim over the batch-stage histogram's sum. By default the counters create
+// a private registry on first use; Bind attaches them to a shared one (e.g.
+// the registry served on /metrics) instead — call it before the first
+// recording.
 type FleetCounters struct {
 	// DevicesEnrolled / DevicesFailed partition the enrollment batch.
 	DevicesEnrolled atomic.Int64
@@ -30,40 +54,107 @@ type FleetCounters struct {
 	BitFlips    atomic.Int64
 
 	mu     sync.Mutex
-	stages map[string]time.Duration
+	reg    *obs.Registry
+	stage  *obs.HistogramVec
+	device *obs.HistogramVec
 }
 
-// AddStageTime accumulates wall-clock time under a named stage
-// (e.g. "enroll", "evaluate").
+// Bind attaches the counters to reg: the stage and per-device latency
+// histograms are registered there, and the flat counters are exported as
+// read-on-scrape counter functions. Bind must run before the first
+// recording (it panics otherwise) and a registry should back at most one
+// FleetCounters — the counter functions are registered once per name.
+func (c *FleetCounters) Bind(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reg != nil {
+		panic("metrics: FleetCounters.Bind after recording started")
+	}
+	c.bindLocked(reg)
+}
+
+// Registry returns the registry backing the stage clocks, creating a
+// private one on first use.
+func (c *FleetCounters) Registry() *obs.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reg == nil {
+		c.bindLocked(obs.NewRegistry())
+	}
+	return c.reg
+}
+
+func (c *FleetCounters) bindLocked(reg *obs.Registry) {
+	c.reg = reg
+	c.stage = reg.NewHistogramVec(MetricStageSeconds,
+		"Wall-clock time of whole batch stages.", nil, "stage")
+	c.device = reg.NewHistogramVec(MetricDeviceSeconds,
+		"Per-device processing latency by stage.", nil, "stage")
+	load := func(v *atomic.Int64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	reg.NewCounterFunc(MetricDevicesEnrolled, "Devices enrolled successfully.", load(&c.DevicesEnrolled))
+	reg.NewCounterFunc(MetricDevicesFailed, "Devices whose enrollment failed.", load(&c.DevicesFailed))
+	reg.NewCounterFunc(MetricPairsKept, "Pairs whose margin met the enrollment threshold.", load(&c.PairsKept))
+	reg.NewCounterFunc(MetricPairsRejected, "Pairs masked out at enrollment.", load(&c.PairsRejected))
+	reg.NewCounterFunc(MetricEvaluations, "Devices evaluated successfully.", load(&c.Evaluations))
+	reg.NewCounterFunc(MetricEvalErrors, "Devices whose evaluation failed.", load(&c.EvalErrors))
+	reg.NewCounterFunc(MetricBitFlips, "Response-vs-reference bit flips across evaluations.", load(&c.BitFlips))
+}
+
+// stageHist returns the batch-stage histogram, initializing the private
+// registry if nothing is bound yet.
+func (c *FleetCounters) stageHist() *obs.HistogramVec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reg == nil {
+		c.bindLocked(obs.NewRegistry())
+	}
+	return c.stage
+}
+
+func (c *FleetCounters) deviceHist() *obs.HistogramVec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reg == nil {
+		c.bindLocked(obs.NewRegistry())
+	}
+	return c.device
+}
+
+// AddStageTime records one whole-stage wall-clock observation under a named
+// stage (e.g. "enroll", "evaluate"). Compatibility shim: the observation
+// lands in the MetricStageSeconds histogram, and StageTime reads the
+// histogram sum back.
 func (c *FleetCounters) AddStageTime(stage string, d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.stages == nil {
-		c.stages = make(map[string]time.Duration)
-	}
-	c.stages[stage] += d
+	c.stageHist().With(stage).Observe(d.Seconds())
 }
 
-// StageTime returns the accumulated wall-clock time of a stage.
+// ObserveDevice records one device's processing latency under a stage.
+func (c *FleetCounters) ObserveDevice(stage string, d time.Duration) {
+	c.deviceHist().With(stage).Observe(d.Seconds())
+}
+
+// StageTime returns the accumulated wall-clock time of a stage, rounded to
+// the nanosecond the histogram sum resolves to.
 func (c *FleetCounters) StageTime(stage string) time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stages[stage]
+	return time.Duration(math.Round(c.stageHist().With(stage).Sum() * 1e9))
 }
 
-// Stages lists the recorded stage names in sorted order.
+// Stages lists the recorded stage names in sorted order. This ordering is a
+// contract: String() renders stages in exactly this order, and consumers
+// parsing either output should rely on it.
 func (c *FleetCounters) Stages() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]string, 0, len(c.stages))
-	for s := range c.stages {
-		out = append(out, s)
+	out := []string{}
+	for _, labels := range c.stageHist().LabelSets() {
+		out = append(out, labels[0])
 	}
-	sort.Strings(out)
 	return out
 }
 
-// String renders a one-look summary of the run.
+// String renders a one-look summary of the run. The format is pinned by a
+// golden test: the device/pair section always appears, the eval section
+// only once evaluations ran, and stages follow in Stages() order.
 func (c *FleetCounters) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "devices: %d enrolled, %d failed; pairs: %d kept, %d rejected",

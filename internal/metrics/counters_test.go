@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ropuf/internal/obs"
 )
 
 func TestFleetCountersConcurrentUpdates(t *testing.T) {
@@ -45,6 +47,77 @@ func TestFleetCountersStagesSorted(t *testing.T) {
 	if c.StageTime("missing") != 0 {
 		t.Fatal("unknown stage should report zero time")
 	}
+}
+
+// TestFleetCountersStringGolden pins the String() format exactly: the
+// device/pair section, the eval section once evaluations ran, and stages
+// appended in Stages() (sorted) order. Consumers parsing this output — or
+// the Stages() slice — rely on that ordering contract.
+func TestFleetCountersStringGolden(t *testing.T) {
+	var c FleetCounters
+	c.DevicesEnrolled.Add(12)
+	c.DevicesFailed.Add(3)
+	c.PairsKept.Add(300)
+	c.PairsRejected.Add(84)
+	want := "devices: 12 enrolled, 3 failed; pairs: 300 kept, 84 rejected"
+	if got := c.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+
+	c.Evaluations.Add(11)
+	c.EvalErrors.Add(1)
+	c.BitFlips.Add(42)
+	// Stages recorded out of order render sorted: enroll before evaluate.
+	c.AddStageTime("evaluate", 1500*time.Microsecond)
+	c.AddStageTime("enroll", 2*time.Millisecond)
+	c.AddStageTime("enroll", 1*time.Millisecond)
+	want = "devices: 12 enrolled, 3 failed; pairs: 300 kept, 84 rejected" +
+		"; evals: 11 ok, 1 failed, 42 bit flips" +
+		"; enroll 3ms; evaluate 1.5ms"
+	if got := c.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestFleetCountersRegistryBacked checks the compatibility shim: stage
+// clocks live in the obs registry as histograms, and the flat counters are
+// scrapable from the same registry.
+func TestFleetCountersRegistryBacked(t *testing.T) {
+	reg := obs.NewRegistry()
+	var c FleetCounters
+	c.Bind(reg)
+	c.DevicesEnrolled.Add(7)
+	c.AddStageTime("enroll", 10*time.Millisecond)
+	c.ObserveDevice("enroll", 2*time.Millisecond)
+	c.ObserveDevice("enroll", 3*time.Millisecond)
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ropuf_fleet_devices_enrolled_total 7",
+		`ropuf_fleet_stage_duration_seconds_count{stage="enroll"} 1`,
+		`ropuf_fleet_device_duration_seconds_count{stage="enroll"} 2`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+	if got := c.StageTime("enroll"); got != 10*time.Millisecond {
+		t.Fatalf("StageTime = %v, want 10ms", got)
+	}
+}
+
+func TestFleetCountersBindAfterUsePanics(t *testing.T) {
+	var c FleetCounters
+	c.AddStageTime("enroll", time.Millisecond) // creates the private registry
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late Bind did not panic")
+		}
+	}()
+	c.Bind(obs.NewRegistry())
 }
 
 func TestFleetCountersString(t *testing.T) {

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("widgets_total", "Widgets made.").Add(3)
+	h := reg.NewHistogramVec("stage_seconds", "Stage latency.", nil, "stage")
+	h.With("enroll").Observe(0.004)
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, header := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"widgets_total 3",
+		`stage_seconds_bucket{stage="enroll",le="0.005"} 1`,
+		`stage_seconds_count{stage="enroll"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	code, _, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+	// The CPU profile endpoint works with a short window; this is the
+	// "profile a running batch" acceptance path.
+	code, _, _ = get("/debug/pprof/profile?seconds=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/profile = %d", code)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewGauge("up", "").Set(1)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+	// A second server on the same wildcard port must bind cleanly.
+	srv2, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+}

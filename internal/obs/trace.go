@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// KV builds an Attr.
+func KV(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// SpanEvent is the record a finished span emits to its sink. IDs are
+// sequential per tracer (1-based); ParentID is 0 for root spans.
+type SpanEvent struct {
+	ID       uint64            `json:"id"`
+	ParentID uint64            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Start    time.Time         `json:"start"`
+	// DurationNS is the span's wall-clock length in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// Duration returns the span length as a time.Duration.
+func (e SpanEvent) Duration() time.Duration { return time.Duration(e.DurationNS) }
+
+// SpanSink receives finished spans. Implementations must be safe for
+// concurrent Emit calls.
+type SpanSink interface {
+	Emit(SpanEvent)
+}
+
+// Tracer mints nested spans and routes finished ones to a sink. A nil
+// *Tracer is a valid disabled tracer: Start returns the context unchanged
+// and a nil span whose methods no-op, so instrumented code needs no guards.
+type Tracer struct {
+	sink   SpanSink
+	nextID atomic.Uint64
+	// now is swappable for tests; nil means time.Now.
+	now func() time.Time
+}
+
+// NewTracer returns a tracer emitting to sink.
+func NewTracer(sink SpanSink) *Tracer {
+	if sink == nil {
+		panic("obs: NewTracer with nil sink")
+	}
+	return &Tracer{sink: sink}
+}
+
+func (t *Tracer) clock() time.Time {
+	if t.now != nil {
+		return t.now()
+	}
+	return time.Now()
+}
+
+// Span is one timed operation. End emits it to the tracer's sink; a span
+// may be ended once, extra End calls no-op. Spans are not safe for
+// concurrent mutation (one goroutine owns a span), matching how they are
+// used: each worker starts and ends its own.
+type Span struct {
+	tracer   *Tracer
+	id       uint64
+	parentID uint64
+	name     string
+	attrs    []Attr
+	start    time.Time
+	ended    atomic.Bool
+}
+
+type spanCtxKey struct{}
+
+// Start begins a span named name. The parent, if any, is taken from ctx;
+// the returned context carries the new span so nested Start calls chain.
+// Ending a parent before its children is legal — each span emits
+// independently at its own End, keeping its ParentID.
+func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		name:   name,
+		attrs:  attrs,
+		start:  t.clock(),
+	}
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		s.parentID = parent.id
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SetAttr adds an annotation. No-op on a nil span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End stamps the duration and emits the span. Only the first End emits.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	ev := SpanEvent{
+		ID:         s.id,
+		ParentID:   s.parentID,
+		Name:       s.name,
+		Start:      s.start,
+		DurationNS: int64(s.tracer.clock().Sub(s.start)),
+	}
+	if len(s.attrs) > 0 {
+		ev.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			ev.Attrs[a.Key] = a.Value
+		}
+	}
+	s.tracer.sink.Emit(ev)
+}
+
+// --- sinks ----------------------------------------------------------------
+
+// JSONLSink writes each span as one JSON line. Writes are serialized by a
+// mutex, so one sink can back a whole worker pool.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one line. Encoding errors are swallowed: tracing must never
+// fail the traced operation.
+func (s *JSONLSink) Emit(ev SpanEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(ev)
+}
+
+// RingSink keeps the most recent spans in a fixed-capacity ring buffer.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []SpanEvent
+	next  int
+	total int
+}
+
+// NewRingSink returns a ring holding the last capacity spans.
+func NewRingSink(capacity int) *RingSink {
+	if capacity <= 0 {
+		panic("obs: NewRingSink with non-positive capacity")
+	}
+	return &RingSink{buf: make([]SpanEvent, 0, capacity)}
+}
+
+// Emit records one span, evicting the oldest when full.
+func (s *RingSink) Emit(ev SpanEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, ev)
+		return
+	}
+	s.buf[s.next] = ev
+	s.next = (s.next + 1) % cap(s.buf)
+}
+
+// Events returns the retained spans, oldest first.
+func (s *RingSink) Events() []SpanEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SpanEvent, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Total counts every span ever emitted, including evicted ones.
+func (s *RingSink) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

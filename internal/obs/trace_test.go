@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectSink records events in emit order.
+type collectSink struct {
+	mu     sync.Mutex
+	events []SpanEvent
+}
+
+func (s *collectSink) Emit(ev SpanEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, ev)
+}
+
+func TestSpanNesting(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracer(sink)
+	ctx, root := tr.Start(context.Background(), "batch", KV("devices", "2"))
+	ctx1, child1 := tr.Start(ctx, "device", KV("device", "d0"))
+	_, grandchild := tr.Start(ctx1, "select")
+	grandchild.End()
+	child1.End()
+	_, child2 := tr.Start(ctx, "device", KV("device", "d1"))
+	child2.End()
+	root.End()
+
+	if len(sink.events) != 4 {
+		t.Fatalf("%d events, want 4", len(sink.events))
+	}
+	byName := map[string]SpanEvent{}
+	for _, ev := range sink.events {
+		if ev.Name == "device" {
+			byName[ev.Attrs["device"]] = ev
+		} else {
+			byName[ev.Name] = ev
+		}
+	}
+	rootEv := byName["batch"]
+	if rootEv.ParentID != 0 {
+		t.Fatalf("root parent = %d, want 0", rootEv.ParentID)
+	}
+	if byName["d0"].ParentID != rootEv.ID || byName["d1"].ParentID != rootEv.ID {
+		t.Fatalf("device spans not parented to root: %+v", sink.events)
+	}
+	if byName["select"].ParentID != byName["d0"].ID {
+		t.Fatalf("grandchild parent = %d, want %d", byName["select"].ParentID, byName["d0"].ID)
+	}
+	if rootEv.Attrs["devices"] != "2" {
+		t.Fatalf("root attrs = %v", rootEv.Attrs)
+	}
+}
+
+// TestSpanOutOfOrderEnds ends a parent before its children: every span must
+// still emit exactly once with the right parent link.
+func TestSpanOutOfOrderEnds(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracer(sink)
+	ctx, parent := tr.Start(context.Background(), "parent")
+	_, childA := tr.Start(ctx, "a")
+	_, childB := tr.Start(ctx, "b")
+	parent.End() // out of order: parent first
+	childB.End()
+	childA.End()
+	childA.End() // double End must not re-emit
+	parent.End()
+
+	if len(sink.events) != 3 {
+		t.Fatalf("%d events, want 3 (double End re-emitted?)", len(sink.events))
+	}
+	if sink.events[0].Name != "parent" {
+		t.Fatalf("first emitted = %s, want parent", sink.events[0].Name)
+	}
+	for _, ev := range sink.events[1:] {
+		if ev.ParentID != sink.events[0].ID {
+			t.Fatalf("span %s parent = %d, want %d", ev.Name, ev.ParentID, sink.events[0].ID)
+		}
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.Start(context.Background(), "x", KV("k", "v"))
+	if span != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	if ctx != context.Background() {
+		t.Fatal("nil tracer changed the context")
+	}
+	span.SetAttr("k", "v") // must not panic
+	span.End()
+}
+
+func TestSpanDurationUsesClock(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracer(sink)
+	now := time.Unix(1000, 0)
+	tr.now = func() time.Time { return now }
+	_, span := tr.Start(context.Background(), "timed")
+	now = now.Add(250 * time.Millisecond)
+	span.End()
+	if d := sink.events[0].Duration(); d != 250*time.Millisecond {
+		t.Fatalf("duration = %v, want 250ms", d)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewJSONLSink(&buf))
+	ctx, parent := tr.Start(context.Background(), "outer")
+	_, child := tr.Start(ctx, "inner", KV("device", "d7"))
+	child.End()
+	parent.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	var first, second SpanEvent
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Name != "inner" || first.Attrs["device"] != "d7" {
+		t.Fatalf("first line = %+v", first)
+	}
+	if second.Name != "outer" || first.ParentID != second.ID {
+		t.Fatalf("parent link lost across JSONL: %+v -> %+v", first, second)
+	}
+}
+
+func TestRingSinkEviction(t *testing.T) {
+	ring := NewRingSink(3)
+	tr := NewTracer(ring)
+	for i := 0; i < 5; i++ {
+		_, s := tr.Start(context.Background(), strings.Repeat("x", i+1))
+		s.End()
+	}
+	if ring.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", ring.Total())
+	}
+	events := ring.Events()
+	if len(events) != 3 {
+		t.Fatalf("%d retained, want 3", len(events))
+	}
+	for i, want := range []string{"xxx", "xxxx", "xxxxx"} {
+		if events[i].Name != want {
+			t.Fatalf("retained[%d] = %s, want %s (oldest first)", i, events[i].Name, want)
+		}
+	}
+}
+
+// TestTracerConcurrentSpans exercises concurrent Start/End across
+// goroutines (race-detector coverage) and checks ID uniqueness.
+func TestTracerConcurrentSpans(t *testing.T) {
+	ring := NewRingSink(4096)
+	tr := NewTracer(ring)
+	ctx, root := tr.Start(context.Background(), "root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, s := tr.Start(ctx, "worker")
+				s.SetAttr("i", "x")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	events := ring.Events()
+	if len(events) != 801 {
+		t.Fatalf("%d events, want 801", len(events))
+	}
+	seen := map[uint64]bool{}
+	for _, ev := range events {
+		if seen[ev.ID] {
+			t.Fatalf("duplicate span ID %d", ev.ID)
+		}
+		seen[ev.ID] = true
+	}
+}
