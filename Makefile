@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-all fleet-bench
+.PHONY: all build test verify bench bench-all fleet-bench fuzz serve-smoke
 
 all: build test
 
@@ -32,3 +32,23 @@ bench-all:
 # Serial-vs-parallel fleet enrollment comparison.
 fleet-bench:
 	$(GO) test -run xxx -bench 'BenchmarkFleetEnroll' -benchtime 10x .
+
+# Fuzz the verifier snapshot decoder against hostile bytes (CI runs this
+# for a short burst; crashes land in internal/auth/testdata/fuzz).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run FuzzLoadVerifier -fuzz FuzzLoadVerifier -fuzztime $(FUZZTIME) ./internal/auth
+
+# End-to-end smoke of the authentication service: boot `ropuf serve` on an
+# ephemeral port with a persistent store, drive it with `ropuf loadgen`,
+# then SIGINT the server and require a clean drain.
+serve-smoke:
+	$(GO) build -o /tmp/ropuf-smoke ./cmd/ropuf
+	rm -rf /tmp/ropuf-smoke-data && mkdir -p /tmp/ropuf-smoke-data
+	/tmp/ropuf-smoke serve -addr 127.0.0.1:18080 -data /tmp/ropuf-smoke-data & \
+	SRV=$$!; sleep 1; \
+	/tmp/ropuf-smoke loadgen -addr http://127.0.0.1:18080 -devices 32 -rounds 2 \
+		-bench-out BENCH_authserve.json || { kill $$SRV; exit 1; }; \
+	curl -sf http://127.0.0.1:18080/metrics | grep -q 'ropuf_authserve_request_duration_seconds_count{route="verify",code="200"}' \
+		|| { echo "missing verify latency metric"; kill $$SRV; exit 1; }; \
+	kill -INT $$SRV; wait $$SRV

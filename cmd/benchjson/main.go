@@ -3,7 +3,8 @@
 // stdout unchanged (so the human-readable numbers stay visible in CI
 // logs), and writes name → {iterations, ns/op, B/op, allocs/op} to the -o
 // file. `make bench` uses it to accumulate the repo's fleet perf
-// trajectory in BENCH_fleet.json.
+// trajectory in BENCH_fleet.json; `ropuf loadgen` writes the same JSON
+// shape directly (both sides share internal/benchfmt).
 //
 // Usage:
 //
@@ -11,29 +12,17 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
-)
 
-// Result is one benchmark's measurements. Zero-valued fields were absent
-// from the input line (e.g. B/op without -benchmem).
-type Result struct {
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-}
+	"ropuf/internal/benchfmt"
+)
 
 func main() {
 	out := flag.String("o", "BENCH_fleet.json", "write the JSON record to this file")
 	flag.Parse()
-	results, err := parse(os.Stdin, os.Stdout)
+	results, err := benchfmt.Parse(os.Stdin, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -42,7 +31,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	data, err := marshal(results)
+	data, err := benchfmt.Marshal(results)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -52,74 +41,4 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
-}
-
-// parse scans benchmark lines from r, tees every line to echo, and returns
-// the parsed results keyed by benchmark name (the -GOMAXPROCS suffix is
-// stripped so keys stay stable across machines).
-func parse(r interface{ Read([]byte) (int, error) }, echo interface{ Write([]byte) (int, error) }) (map[string]Result, error) {
-	results := make(map[string]Result)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Fprintln(echo, line)
-		fields := strings.Fields(line)
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		res := Result{Iterations: iters}
-		// Remaining fields come in "<value> <unit>" pairs.
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch fields[i+1] {
-			case "ns/op":
-				res.NsPerOp = v
-			case "B/op":
-				res.BytesPerOp = v
-			case "allocs/op":
-				res.AllocsPerOp = v
-			}
-		}
-		results[name] = res
-	}
-	return results, sc.Err()
-}
-
-// marshal renders the results with sorted keys and a trailing newline so
-// the file diffs cleanly between runs.
-func marshal(results map[string]Result) ([]byte, error) {
-	names := make([]string, 0, len(results))
-	for name := range results {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	b.WriteString("{\n")
-	for i, name := range names {
-		entry, err := json.Marshal(results[name])
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(&b, "  %q: %s", name, entry)
-		if i < len(names)-1 {
-			b.WriteString(",")
-		}
-		b.WriteString("\n")
-	}
-	b.WriteString("}\n")
-	return []byte(b.String()), nil
 }

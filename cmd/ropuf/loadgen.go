@@ -1,0 +1,314 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ropuf/internal/auth"
+	"ropuf/internal/authserve"
+	"ropuf/internal/benchfmt"
+	"ropuf/internal/core"
+	"ropuf/internal/fleet"
+)
+
+// runLoadgen drives a running authserve instance with a synthetic device
+// fleet and reports sustained throughput and latency percentiles. It runs
+// three phases:
+//
+//  1. enroll: POST each fabricated device's measurements (409 from a
+//     previous run against a persistent store counts as success);
+//  2. prepare: draw challenges and precompute the honest prover responses
+//     from a noisy re-measurement of each device's silicon;
+//  3. verify: hammer POST /v1/verify with the prepared responses under
+//     -concurrency workers, timing every request.
+//
+// Precomputing responses keeps phase 3 pure protocol load — the measured
+// req/s is the server's verify throughput, not the client's silicon
+// simulation speed. Results are printed as `go test -bench` style lines
+// and written to -bench-out in the same JSON shape cmd/benchjson produces.
+func runLoadgen(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "authserve base URL")
+	numDevices := fs.Int("devices", 128, "synthetic devices to enroll")
+	pairs := fs.Int("pairs", 128, "PUF pairs per device")
+	stages := fs.Int("stages", 13, "ring stages per pair")
+	k := fs.Int("k", 16, "challenge length (bits per authentication)")
+	rounds := fs.Int("rounds", 0, "verify rounds per device (0 = until its pairs run out)")
+	concurrency := fs.Int("concurrency", 32, "concurrent client workers")
+	noise := fs.Float64("noise", 2, "re-measurement noise sigma (ps)")
+	seed := fs.Uint64("seed", 1, "fleet fabrication seed")
+	benchOut := fs.String("bench-out", "BENCH_authserve.json", "write the perf record here (empty = skip)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	devices, err := fleet.Synthetic(*numDevices, *pairs, *stages, *seed)
+	if err != nil {
+		return err
+	}
+	provers := make([]*auth.Prover, len(devices))
+	for i, d := range devices {
+		enr, err := core.Enroll(d.Pairs, core.Case2, 0, core.Options{})
+		if err != nil {
+			return fmt.Errorf("loadgen: enrolling %s locally: %w", d.ID, err)
+		}
+		provers[i] = &auth.Prover{Enrollment: enr}
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency,
+		MaxIdleConnsPerHost: *concurrency,
+	}}
+	lg := &loadgen{base: *addr, client: client}
+
+	// Phase 1: enroll the fleet over HTTP.
+	enrollStart := time.Now()
+	freshPerDevice := make([]int, len(devices))
+	err = lg.forEach(ctx, *concurrency, len(devices), func(i int) error {
+		d := devices[i]
+		req := authserve.EnrollRequest{ID: d.ID, Mode: "case2"}
+		for _, p := range d.Pairs {
+			req.Pairs = append(req.Pairs, authserve.PairWire{Alpha: p.Alpha, Beta: p.Beta})
+		}
+		var resp authserve.EnrollResponse
+		code, err := lg.postJSON(ctx, "/v1/enroll", req, &resp)
+		switch {
+		case err != nil:
+			return fmt.Errorf("enroll %s: %w", d.ID, err)
+		case code == http.StatusOK:
+			freshPerDevice[i] = resp.Fresh
+			return nil
+		case code == http.StatusConflict:
+			// Already enrolled (persistent store from a previous run).
+			var info authserve.DeviceResponse
+			if code, err := lg.getJSON(ctx, "/v1/devices/"+d.ID, &info); err != nil || code != http.StatusOK {
+				return fmt.Errorf("enroll %s: device already exists but is unreadable (%d, %v)", d.ID, code, err)
+			}
+			freshPerDevice[i] = info.Fresh
+			return nil
+		default:
+			return fmt.Errorf("enroll %s: unexpected status %d", d.ID, code)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	enrollElapsed := time.Since(enrollStart)
+	fmt.Printf("enrolled %d devices in %s — %.0f enroll/s\n",
+		len(devices), enrollElapsed.Round(time.Millisecond),
+		float64(len(devices))/enrollElapsed.Seconds())
+
+	// Phase 2: draw challenges and precompute honest responses.
+	type verifyJob struct{ req authserve.VerifyRequest }
+	jobMu := sync.Mutex{}
+	var jobs []verifyJob
+	prepStart := time.Now()
+	err = lg.forEach(ctx, *concurrency, len(devices), func(i int) error {
+		d := devices[i]
+		n := freshPerDevice[i] / *k
+		if *rounds > 0 && *rounds < n {
+			n = *rounds
+		}
+		fresh := fleet.Remeasure(d, *noise, *seed+uint64(i)+1)
+		var local []verifyJob
+		for r := 0; r < n; r++ {
+			var ch authserve.ChallengeResponse
+			code, err := lg.postJSON(ctx, "/v1/challenge", authserve.ChallengeRequest{ID: d.ID, K: *k}, &ch)
+			if err != nil {
+				return fmt.Errorf("challenge %s: %w", d.ID, err)
+			}
+			if code == http.StatusConflict { // pool exhausted early
+				break
+			}
+			if code != http.StatusOK {
+				return fmt.Errorf("challenge %s: unexpected status %d", d.ID, code)
+			}
+			resp, err := provers[i].Respond(&auth.Challenge{DeviceID: d.ID, Pairs: ch.Pairs}, fresh)
+			if err != nil {
+				return fmt.Errorf("respond %s: %w", d.ID, err)
+			}
+			local = append(local, verifyJob{req: authserve.VerifyRequest{
+				ID: d.ID, ChallengeID: ch.ChallengeID, Response: resp.String(),
+			}})
+		}
+		jobMu.Lock()
+		jobs = append(jobs, local...)
+		jobMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	prepElapsed := time.Since(prepStart)
+	if len(jobs) == 0 {
+		return errors.New("loadgen: no challenges prepared (pairs exhausted? lower -k or raise -pairs)")
+	}
+	fmt.Printf("prepared %d challenges (%d-bit) in %s\n", len(jobs), *k, prepElapsed.Round(time.Millisecond))
+
+	// Phase 3: hammer verify.
+	var accepted, rejected, throttled, transport atomic.Int64
+	latencies := make([][]time.Duration, *concurrency)
+	next := atomic.Int64{}
+	verifyStart := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				var vr authserve.VerifyResponse
+				code, err := lg.postJSON(ctx, "/v1/verify", jobs[i].req, &vr)
+				latencies[w] = append(latencies[w], time.Since(t0))
+				switch {
+				case err != nil:
+					transport.Add(1)
+				case code == http.StatusTooManyRequests:
+					throttled.Add(1)
+				case code == http.StatusOK && vr.OK:
+					accepted.Add(1)
+				default:
+					rejected.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	verifyElapsed := time.Since(verifyStart)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("loadgen: cancelled mid-verify: %w", err)
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration { return all[min(int(p*float64(len(all))), len(all)-1)] }
+	rps := float64(len(all)) / verifyElapsed.Seconds()
+	fmt.Printf("verified %d responses in %s — %.0f verify/s (%d workers)\n",
+		len(all), verifyElapsed.Round(time.Millisecond), rps, *concurrency)
+	fmt.Printf("  accepted %d  rejected %d  throttled(429) %d  transport errors %d\n",
+		accepted.Load(), rejected.Load(), throttled.Load(), transport.Load())
+	fmt.Printf("  latency p50 %s  p90 %s  p99 %s  max %s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	if transport.Load() > 0 {
+		return fmt.Errorf("loadgen: %d requests failed at the transport layer", transport.Load())
+	}
+
+	results := map[string]benchfmt.Result{
+		"BenchmarkAuthserveEnroll": {Iterations: int64(len(devices)),
+			NsPerOp: float64(enrollElapsed.Nanoseconds()) / float64(len(devices))},
+		"BenchmarkAuthserveVerify": {Iterations: int64(len(all)),
+			NsPerOp: float64(verifyElapsed.Nanoseconds()) / float64(len(all))},
+		"BenchmarkAuthserveVerifyLatencyP50": {Iterations: int64(len(all)), NsPerOp: float64(pct(0.50))},
+		"BenchmarkAuthserveVerifyLatencyP99": {Iterations: int64(len(all)), NsPerOp: float64(pct(0.99))},
+	}
+	for _, name := range []string{"BenchmarkAuthserveEnroll", "BenchmarkAuthserveVerify",
+		"BenchmarkAuthserveVerifyLatencyP50", "BenchmarkAuthserveVerifyLatencyP99"} {
+		fmt.Println(results[name].Line(name))
+	}
+	if *benchOut != "" {
+		data, err := benchfmt.Marshal(results)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+	}
+	return nil
+}
+
+// loadgen is the shared HTTP plumbing of the load phases.
+type loadgen struct {
+	base   string
+	client *http.Client
+}
+
+// forEach runs fn(0..n-1) across `workers` goroutines, stopping early on
+// the first error or on context cancellation.
+func (lg *loadgen) forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	next := atomic.Int64{}
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil || firstErr.Load() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+func (lg *loadgen) postJSON(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, lg.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return lg.do(req, out)
+}
+
+func (lg *loadgen) getJSON(ctx context.Context, path string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, lg.base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	return lg.do(req, out)
+}
+
+func (lg *loadgen) do(req *http.Request, out any) (int, error) {
+	resp, err := lg.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %s response: %w", req.URL.Path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -12,6 +12,8 @@
 //	ropuf all                  shorthand for "experiment all"
 //	ropuf verify               check the headline reproduction claims
 //	ropuf fleet [flags]        enroll + evaluate a synthetic device fleet concurrently
+//	ropuf serve [flags]        run the PUF authentication HTTP service
+//	ropuf loadgen [flags]      drive a running authserve with a synthetic fleet
 //
 // Long-running commands (all, fleet) are observable while they run:
 // -metrics-addr serves /metrics (Prometheus text), /healthz, and
@@ -74,6 +76,10 @@ func usage() {
   ropuf rtl [stages]         emit the Fig. 1 architecture as Verilog (default 5 stages)
   ropuf fleet [flags]        enroll + evaluate a synthetic device fleet concurrently
                              (see 'ropuf fleet -h' for flags)
+  ropuf serve [flags]        run the PUF authentication HTTP service
+                             (see 'ropuf serve -h' for flags)
+  ropuf loadgen [flags]      drive a running authserve with a synthetic fleet
+                             (see 'ropuf loadgen -h' for flags)
 
 observability (before the subcommand; 'fleet' also accepts them after):
   -metrics-addr addr         serve /metrics, /healthz, /debug/pprof while running
@@ -101,6 +107,10 @@ func run(ctx context.Context, args []string) error {
 		return runRTL(args[1:])
 	case "fleet":
 		return runFleet(ctx, args[1:])
+	case "serve":
+		return runServe(ctx, args[1:])
+	case "loadgen":
+		return runLoadgen(ctx, args[1:])
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", args[0])

@@ -1,0 +1,95 @@
+package main
+
+import (
+	crand "crypto/rand"
+	"context"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"ropuf/internal/authserve"
+	"ropuf/internal/obs"
+)
+
+// runServe starts the PUF authentication HTTP service: the four /v1 routes
+// (enroll, challenge, verify, devices/{id}) plus /metrics, /healthz and
+// /debug/pprof, all on one address. With -data the device store survives
+// restarts (write-through snapshots); without it the store is in-memory.
+// Ctrl-C / SIGTERM drain gracefully: the listener stops accepting,
+// in-flight requests get -drain to finish, and the store is snapshotted a
+// final time before exit.
+func runServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	dataDir := fs.String("data", "", "snapshot directory (empty = in-memory store)")
+	tolerance := fs.Float64("tolerance", 0.10, "accepted Hamming-distance fraction")
+	shards := fs.Int("shards", 16, "device store lock shards")
+	maxInflight := fs.Int("max-inflight", 64, "max concurrently executing requests")
+	maxQueue := fs.Int("max-queue", 256, "max requests queued for an inflight slot (excess get 429)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	seed := fs.Uint64("seed", 0, "challenge RNG seed (0 = cryptographically random)")
+	trace := fs.String("trace-out", *traceOut, "write span events as JSON lines to this file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *seed == 0 {
+		var buf [8]byte
+		if _, err := crand.Read(buf[:]); err != nil {
+			return fmt.Errorf("serve: seeding challenge RNG: %w", err)
+		}
+		*seed = binary.LittleEndian.Uint64(buf[:])
+	}
+
+	store, err := authserve.Open(authserve.StoreOptions{
+		Tolerance: *tolerance,
+		Shards:    *shards,
+		Dir:       *dataDir,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+	opt := authserve.ServerOptions{
+		MaxInflight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		DrainTimeout: *drain,
+		Registry:     obs.NewRegistry(),
+	}
+	var traceFile *os.File
+	if *trace != "" {
+		traceFile, err = os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("serve: trace output: %w", err)
+		}
+		defer func() {
+			_ = traceFile.Sync()
+			_ = traceFile.Close()
+		}()
+		opt.Tracer = obs.NewTracer(obs.NewJSONLSink(traceFile))
+	}
+	srv := authserve.NewServer(store, opt)
+
+	started := make(chan net.Addr, 1)
+	go func() {
+		if a, ok := <-started; ok {
+			persist := "in-memory"
+			if *dataDir != "" {
+				persist = "snapshots in " + *dataDir
+			}
+			fmt.Fprintf(os.Stderr, "authserve listening on http://%s (%d devices, %s, tolerance %g)\n",
+				a, store.NumDevices(), persist, *tolerance)
+		}
+	}()
+	err = srv.ListenAndServe(ctx, *addr, started)
+	if err == nil {
+		fmt.Fprintln(os.Stderr, "authserve drained cleanly")
+	}
+	return err
+}

@@ -14,15 +14,39 @@
 // response is rejected, and the tolerance trades false accepts against
 // false rejects — both measurable with the silicon simulator (see
 // examples/authentication).
+//
+// # Thread safety
+//
+// A Verifier is NOT safe for concurrent use: Enroll and NewChallenge
+// mutate the device map, the per-device used-pair state, and the shared
+// RNG, and even the read paths (NumFresh, Verify) race with those
+// mutations. Callers that serve many goroutines must serialize access —
+// package authserve does exactly that with a sharded store that holds one
+// Verifier per shard behind a per-shard lock.
 package auth
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 
 	"ropuf/internal/bits"
 	"ropuf/internal/core"
 	"ropuf/internal/rngx"
+)
+
+// Sentinel errors, matchable with errors.Is; a serving layer maps them to
+// protocol-level outcomes (404, 409, ...).
+var (
+	// ErrUnknownDevice reports an operation on a device ID that was never
+	// enrolled.
+	ErrUnknownDevice = errors.New("unknown device")
+	// ErrDuplicateDevice reports an Enroll for an ID that already exists.
+	ErrDuplicateDevice = errors.New("device already enrolled")
+	// ErrExhausted reports a challenge request exceeding the device's
+	// remaining fresh (unconsumed) pairs.
+	ErrExhausted = errors.New("not enough fresh pairs")
 )
 
 // DeviceRecord is the verifier's stored state for one enrolled device.
@@ -53,7 +77,7 @@ type Verifier struct {
 
 // NewVerifier creates a verifier with the given noise tolerance fraction.
 func NewVerifier(tolerance float64, rng *rngx.RNG) (*Verifier, error) {
-	if tolerance < 0 || tolerance >= 0.5 {
+	if math.IsNaN(tolerance) || tolerance < 0 || tolerance >= 0.5 {
 		return nil, fmt.Errorf("auth: tolerance %g outside [0, 0.5)", tolerance)
 	}
 	if rng == nil {
@@ -65,8 +89,11 @@ func NewVerifier(tolerance float64, rng *rngx.RNG) (*Verifier, error) {
 // Enroll registers a device from its measured pairs. The enrollment
 // measurement happens once, in a trusted environment.
 func (v *Verifier) Enroll(id string, pairs []core.Pair, mode core.Mode) (*DeviceRecord, error) {
+	if id == "" {
+		return nil, errors.New("auth: empty device ID")
+	}
 	if _, ok := v.devices[id]; ok {
-		return nil, fmt.Errorf("auth: device %q already enrolled", id)
+		return nil, fmt.Errorf("auth: device %q: %w", id, ErrDuplicateDevice)
 	}
 	enr, err := core.Enroll(pairs, mode, 0, core.Options{})
 	if err != nil {
@@ -81,7 +108,7 @@ func (v *Verifier) Enroll(id string, pairs []core.Pair, mode core.Mode) (*Device
 func (v *Verifier) NumFresh(id string) (int, error) {
 	rec, ok := v.devices[id]
 	if !ok {
-		return 0, fmt.Errorf("auth: unknown device %q", id)
+		return 0, fmt.Errorf("auth: %w %q", ErrUnknownDevice, id)
 	}
 	n := 0
 	for i, u := range rec.used {
@@ -92,13 +119,37 @@ func (v *Verifier) NumFresh(id string) (int, error) {
 	return n, nil
 }
 
+// NumDevices returns the number of enrolled devices.
+func (v *Verifier) NumDevices() int { return len(v.devices) }
+
+// DeviceIDs lists the enrolled device IDs in sorted order.
+func (v *Verifier) DeviceIDs() []string {
+	ids := make([]string, 0, len(v.devices))
+	for id := range v.devices {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Device returns the stored record for an enrolled device, or
+// ErrUnknownDevice. The record is the verifier's live state, not a copy;
+// the thread-safety contract of the Verifier covers it.
+func (v *Verifier) Device(id string) (*DeviceRecord, error) {
+	rec, ok := v.devices[id]
+	if !ok {
+		return nil, fmt.Errorf("auth: %w %q", ErrUnknownDevice, id)
+	}
+	return rec, nil
+}
+
 // NewChallenge draws a single-use challenge of length k for the device.
 // The selected pairs are consumed immediately (even if the authentication
 // later fails), so an eavesdropped response cannot be replayed.
 func (v *Verifier) NewChallenge(id string, k int) (*Challenge, error) {
 	rec, ok := v.devices[id]
 	if !ok {
-		return nil, fmt.Errorf("auth: unknown device %q", id)
+		return nil, fmt.Errorf("auth: %w %q", ErrUnknownDevice, id)
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("auth: challenge length %d must be positive", k)
@@ -110,7 +161,7 @@ func (v *Verifier) NewChallenge(id string, k int) (*Challenge, error) {
 		}
 	}
 	if len(fresh) < k {
-		return nil, fmt.Errorf("auth: device %q has only %d fresh pairs, need %d", id, len(fresh), k)
+		return nil, fmt.Errorf("auth: device %q has only %d fresh pairs, need %d: %w", id, len(fresh), k, ErrExhausted)
 	}
 	v.rng.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
 	chosen := append([]int(nil), fresh[:k]...)
@@ -124,7 +175,7 @@ func (v *Verifier) NewChallenge(id string, k int) (*Challenge, error) {
 func (v *Verifier) referenceBits(ch *Challenge) (*bits.Stream, error) {
 	rec, ok := v.devices[ch.DeviceID]
 	if !ok {
-		return nil, fmt.Errorf("auth: unknown device %q", ch.DeviceID)
+		return nil, fmt.Errorf("auth: %w %q", ErrUnknownDevice, ch.DeviceID)
 	}
 	ref := bits.New(len(ch.Pairs))
 	for _, i := range ch.Pairs {

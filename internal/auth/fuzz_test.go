@@ -1,0 +1,104 @@
+package auth
+
+import (
+	"bytes"
+	"testing"
+
+	"ropuf/internal/bits"
+	"ropuf/internal/core"
+	"ropuf/internal/rngx"
+)
+
+// fuzzSeedVerifier builds a small verifier (two devices, a consumed
+// challenge on one) and returns its Save bytes — a known-good corpus seed
+// that gives the fuzzer the real shape of the format to mutate.
+func fuzzSeedVerifier(t testing.TB) []byte {
+	r := rngx.New(0xF0)
+	v, err := NewVerifier(0.1, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"dev-a", "dev-b"} {
+		pairs := make([]core.Pair, 8)
+		for p := range pairs {
+			alpha := make([]float64, 5)
+			beta := make([]float64, 5)
+			for s := range alpha {
+				alpha[s] = 200 + 5*r.Norm()
+				beta[s] = 200 + 5*r.Norm()
+			}
+			pairs[p] = core.Pair{Alpha: alpha, Beta: beta}
+		}
+		if _, err := v.Enroll(id, pairs, core.Case2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := v.NewChallenge("dev-a", 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadVerifier asserts that arbitrary (corrupted) snapshot bytes
+// either load into a fully consistent verifier or return an error — never
+// panic — and that anything that loads survives a Save/Load round trip and
+// normal challenge traffic.
+func FuzzLoadVerifier(f *testing.F) {
+	seed := fuzzSeedVerifier(f)
+	f.Add(seed)
+	// Structural mutations of the good seed: truncation, field damage.
+	f.Add(seed[:len(seed)/2])
+	f.Add(bytes.Replace(seed, []byte(`"version": 1`), []byte(`"version": 2`), 1))
+	f.Add(bytes.Replace(seed, []byte(`"used"`), []byte(`"USED"`), 1))
+	f.Add(bytes.Replace(seed, []byte(`"tolerance": 0.1`), []byte(`"tolerance": 1e309`), 1))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"tolerance":0.1,"devices":[{"id":"x","enrollment":{},"used":[]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := LoadVerifier(bytes.NewReader(data), rngx.New(1))
+		if err != nil {
+			return // rejected corrupt input: exactly what we want
+		}
+		// Whatever loaded must behave like a live verifier: the read and
+		// challenge paths must not panic on its state.
+		for _, id := range v.DeviceIDs() {
+			n, err := v.NumFresh(id)
+			if err != nil {
+				t.Fatalf("NumFresh(%q) on loaded verifier: %v", id, err)
+			}
+			if n == 0 {
+				continue
+			}
+			ch, err := v.NewChallenge(id, 1)
+			if err != nil {
+				t.Fatalf("NewChallenge(%q) with %d fresh pairs: %v", id, n, err)
+			}
+			rec, err := v.Device(id)
+			if err != nil {
+				t.Fatalf("Device(%q): %v", id, err)
+			}
+			resp := bits.New(len(ch.Pairs))
+			for _, i := range ch.Pairs {
+				resp.Append(rec.Enrollment.Selections[i].Bit)
+			}
+			ok, d, err := v.Verify(ch, resp)
+			if err != nil {
+				t.Fatalf("Verify(%q) with reference bits: %v", id, err)
+			}
+			if !ok || d != 0 {
+				t.Fatalf("reference response rejected: ok=%v d=%d", ok, d)
+			}
+		}
+		// A loaded verifier must round-trip: Save output is valid input.
+		var buf bytes.Buffer
+		if err := v.Save(&buf); err != nil {
+			t.Fatalf("re-saving loaded verifier: %v", err)
+		}
+		if _, err := LoadVerifier(&buf, rngx.New(2)); err != nil {
+			t.Fatalf("reloading saved verifier: %v", err)
+		}
+	})
+}

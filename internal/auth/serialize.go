@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 
 	"ropuf/internal/core"
 	"ropuf/internal/rngx"
@@ -34,12 +33,7 @@ const verifierVersion = 1
 // The RNG state is not persisted; pass a fresh source to LoadVerifier.
 func (v *Verifier) Save(w io.Writer) error {
 	out := verifierJSON{Version: verifierVersion, Tolerance: v.Tolerance}
-	ids := make([]string, 0, len(v.devices))
-	for id := range v.devices {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
+	for _, id := range v.DeviceIDs() {
 		rec := v.devices[id]
 		var buf bytes.Buffer
 		if err := rec.Enrollment.Save(&buf); err != nil {

@@ -1,0 +1,331 @@
+package authserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ropuf/internal/auth"
+	"ropuf/internal/bits"
+	"ropuf/internal/core"
+	"ropuf/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies. The largest legitimate body is an
+// enrollment (hundreds of pairs × tens of stages × two float vectors);
+// 16 MiB leaves generous headroom while capping hostile payloads.
+const maxBodyBytes = 16 << 20
+
+// ServerOptions configures NewServer.
+type ServerOptions struct {
+	// MaxInflight bounds concurrently executing requests; defaults to 64.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an inflight slot; a request
+	// arriving with the queue full is answered 429 + Retry-After.
+	// Defaults to 256.
+	MaxQueue int
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish after Serve's context is cancelled. Defaults to 10s.
+	DrainTimeout time.Duration
+	// Registry receives the per-route metrics and backs the /metrics
+	// endpoint; nil means a private registry (still scrapable).
+	Registry *obs.Registry
+	// Tracer, when non-nil, emits one span per handled request.
+	Tracer *obs.Tracer
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 256
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	return o
+}
+
+// Server is the PUF authentication HTTP service over a Store.
+type Server struct {
+	store   *Store
+	opt     ServerOptions
+	tracer  *obs.Tracer
+	sem     chan struct{}
+	waiting atomic.Int64
+
+	reqDur    *obs.HistogramVec
+	reqTotal  *obs.CounterVec
+	throttled *obs.CounterVec
+	inflight  *obs.Gauge
+
+	// testHookInflight, when set (tests only), runs inside each admitted
+	// request's inflight window — it lets tests hold requests open to
+	// exercise backpressure and graceful drain deterministically.
+	testHookInflight func(route string)
+}
+
+// NewServer wires a Store into an HTTP API.
+func NewServer(store *Store, opt ServerOptions) *Server {
+	opt = opt.withDefaults()
+	reg := opt.Registry
+	s := &Server{
+		store:  store,
+		opt:    opt,
+		tracer: opt.Tracer,
+		sem:    make(chan struct{}, opt.MaxInflight),
+		reqDur: reg.NewHistogramVec("ropuf_authserve_request_duration_seconds",
+			"Wall-clock latency of authserve HTTP requests.", nil, "route", "code"),
+		reqTotal: reg.NewCounterVec("ropuf_authserve_requests_total",
+			"Authserve HTTP requests handled.", "route", "code"),
+		throttled: reg.NewCounterVec("ropuf_authserve_throttled_total",
+			"Requests rejected with 429 because the bounded queue was full.", "route"),
+		inflight: reg.NewGauge("ropuf_authserve_inflight_requests",
+			"Requests currently executing."),
+	}
+	reg.NewGaugeFunc("ropuf_authserve_devices",
+		"Devices currently enrolled in the store.",
+		func() float64 { return float64(store.NumDevices()) })
+	return s
+}
+
+// Handler builds the full route table: the four /v1 API routes plus
+// /metrics, /healthz, and /debug/pprof from the observability registry.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/enroll", s.instrument("enroll", s.handleEnroll))
+	mux.HandleFunc("POST /v1/challenge", s.instrument("challenge", s.handleChallenge))
+	mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
+	mux.HandleFunc("GET /v1/devices/{id}", s.instrument("device", s.handleDevice))
+	obsMux := obs.NewMux(s.opt.Registry)
+	mux.Handle("/metrics", obsMux)
+	mux.Handle("/healthz", obsMux)
+	mux.Handle("/debug/pprof/", obsMux)
+	return mux
+}
+
+// instrument wraps a handler with bounded-queue admission, the per-route
+// latency histogram and request counter, and an optional span.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if !s.acquire(r.Context()) {
+			s.throttled.With(route).Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server saturated, retry later")
+			s.observe(route, http.StatusTooManyRequests, start)
+			return
+		}
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}()
+		_, span := s.tracer.Start(r.Context(), "authserve."+route)
+		if s.testHookInflight != nil {
+			s.testHookInflight(route)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		h(sw, r)
+		span.SetAttr("code", strconv.Itoa(sw.code))
+		span.End()
+		s.observe(route, sw.code, start)
+	}
+}
+
+func (s *Server) observe(route string, code int, start time.Time) {
+	c := strconv.Itoa(code)
+	s.reqDur.With(route, c).Observe(time.Since(start).Seconds())
+	s.reqTotal.With(route, c).Inc()
+}
+
+// acquire admits the request into the inflight window, waiting in the
+// bounded queue if the window is full. It returns false when the queue is
+// full or the client went away while queued.
+func (s *Server) acquire(ctx context.Context) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.opt.MaxQueue) {
+		s.waiting.Add(-1)
+		return false
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// statusWriter captures the status code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// --- handlers --------------------------------------------------------------
+
+func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
+	var req EnrollRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var mode core.Mode
+	switch req.Mode {
+	case "case1":
+		mode = core.Case1
+	case "case2", "":
+		mode = core.Case2
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (want case1 or case2)", req.Mode))
+		return
+	}
+	pairs := make([]core.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		pairs[i] = core.Pair{Alpha: p.Alpha, Beta: p.Beta}
+	}
+	info, err := s.store.Enroll(req.ID, pairs, mode)
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EnrollResponse{ID: info.ID, Pairs: info.Pairs, Bits: info.Bits, Fresh: info.Fresh})
+}
+
+func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
+	var req ChallengeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	nonce, ch, err := s.store.Challenge(req.ID, req.K)
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ChallengeResponse{ChallengeID: nonce, ID: ch.DeviceID, Pairs: ch.Pairs})
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := bits.FromString(req.Response)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ok, dist, limit, err := s.store.Verify(req.ID, req.ChallengeID, resp)
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, VerifyResponse{OK: ok, Distance: dist, Limit: limit, Bits: resp.Len()})
+}
+
+func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
+	info, err := s.store.Device(r.PathValue("id"))
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeviceResponse{
+		ID: info.ID, Pairs: info.Pairs, Bits: info.Bits,
+		Fresh: info.Fresh, Outstanding: info.Outstanding,
+	})
+}
+
+// decode parses a JSON body, answering 400 on malformed input.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeStoreError maps store/auth errors onto the v1 status-code contract:
+// unknown device or challenge → 404, duplicate enrollment or exhausted
+// challenge pool → 409, anything else (validation) → 400.
+func writeStoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, auth.ErrUnknownDevice), errors.Is(err, ErrUnknownChallenge):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, auth.ErrDuplicateDevice), errors.Is(err, auth.ErrExhausted):
+		writeError(w, http.StatusConflict, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+// --- serving & graceful drain ----------------------------------------------
+
+// Serve runs the HTTP server on ln until ctx is cancelled, then drains:
+// the listener stops accepting, in-flight requests get DrainTimeout to
+// finish, and the store is snapshotted a final time. It returns nil after
+// a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.opt.DrainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(drainCtx)
+	if drainErr != nil {
+		drainErr = fmt.Errorf("authserve: drain: %w", drainErr)
+	}
+	saveErr := s.store.SaveAll()
+	return errors.Join(drainErr, saveErr)
+}
+
+// ListenAndServe binds addr and calls Serve. The bound address is reported
+// through started (useful with ":0"), which is closed after the listener
+// is ready.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, started chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("authserve: listen %s: %w", addr, err)
+	}
+	if started != nil {
+		started <- ln.Addr()
+		close(started)
+	}
+	return s.Serve(ctx, ln)
+}

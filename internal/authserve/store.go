@@ -1,0 +1,363 @@
+// Package authserve turns the in-process auth.Verifier into a network
+// service: a concurrent-safe sharded device store with crash-safe snapshot
+// persistence (store.go) and an HTTP JSON API with bounded-queue
+// backpressure, per-route metrics/spans, and graceful drain (server.go).
+//
+// # Concurrency model
+//
+// auth.Verifier is documented as not safe for concurrent use, so the store
+// never shares one across goroutines. Devices are partitioned by an FNV-1a
+// hash of their ID into N shards; each shard owns one Verifier (plus the
+// outstanding-challenge table for its devices) behind its own RWMutex.
+// Operations on different shards never contend; operations on one shard
+// serialize, which is exactly the Verifier's contract.
+//
+// # Durability model
+//
+// With a data directory configured, every mutation (enroll, challenge
+// issuance) rewrites the owning shard's snapshot — auth.Save output
+// written to a temp file and renamed into place, so a crash leaves either
+// the old or the new snapshot, never a torn one — *before* the call
+// returns. Consumed-pair state is therefore durable by the time a
+// challenge reaches the network: a device re-challenged after a crash can
+// never be asked to re-expose bits it already revealed. Outstanding
+// challenge IDs are deliberately NOT persisted: a restart invalidates
+// every issued-but-unverified challenge, so responses to pre-crash
+// challenges are rejected.
+package authserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ropuf/internal/auth"
+	"ropuf/internal/bits"
+	"ropuf/internal/core"
+	"ropuf/internal/rngx"
+)
+
+// ErrUnknownChallenge reports a verify against a challenge ID that was
+// never issued, was already consumed by a previous verify, or was
+// invalidated by a server restart. The three cases are indistinguishable
+// on purpose: a replayed response must learn nothing.
+var ErrUnknownChallenge = errors.New("authserve: unknown or already-used challenge")
+
+// StoreOptions configures Open.
+type StoreOptions struct {
+	// Tolerance is the accepted Hamming-distance fraction (see
+	// auth.Verifier.Tolerance). Defaults to 0.10.
+	Tolerance float64
+	// Shards is the number of lock shards; defaults to 16.
+	Shards int
+	// Dir, when non-empty, enables snapshot persistence in that directory
+	// (created if absent). Empty means in-memory only.
+	Dir string
+	// Seed feeds the deterministic RNG used for challenge pair selection
+	// and challenge IDs. Defaults to 1; serving binaries should pass a
+	// random seed (see cmd/ropuf serve).
+	Seed uint64
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.Tolerance == 0 {
+		o.Tolerance = 0.10
+	}
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// DeviceInfo is a point-in-time summary of one enrolled device.
+type DeviceInfo struct {
+	ID          string
+	Pairs       int // total measured pairs
+	Bits        int // usable (unmasked) pairs
+	Fresh       int // pairs still available for challenges
+	Outstanding int // issued-but-unverified challenges
+}
+
+// Store is the concurrent device database behind the HTTP API.
+type Store struct {
+	opt    StoreOptions
+	shards []*shard
+}
+
+type shard struct {
+	mu          sync.RWMutex
+	v           *auth.Verifier
+	nonceRNG    *rngx.RNG
+	outstanding map[string]*auth.Challenge // challenge ID -> issued challenge
+	path        string                     // snapshot file; "" = persistence off
+}
+
+type manifestJSON struct {
+	Version   int     `json:"version"`
+	Shards    int     `json:"shards"`
+	Tolerance float64 `json:"tolerance"`
+}
+
+const manifestVersion = 1
+
+// Open creates the store, loading any existing shard snapshots from
+// opt.Dir. The shard count and tolerance are fixed at first creation (they
+// determine device placement and the meaning of stored verdicts); opening
+// an existing directory with different options fails.
+func Open(opt StoreOptions) (*Store, error) {
+	opt = opt.withDefaults()
+	s := &Store{opt: opt, shards: make([]*shard, opt.Shards)}
+	if opt.Dir != "" {
+		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("authserve: data dir: %w", err)
+		}
+		if err := s.checkManifest(); err != nil {
+			return nil, err
+		}
+	}
+	parent := rngx.New(opt.Seed)
+	for i := range s.shards {
+		sh := &shard{
+			nonceRNG:    parent.Split(),
+			outstanding: make(map[string]*auth.Challenge),
+		}
+		if opt.Dir != "" {
+			sh.path = filepath.Join(opt.Dir, fmt.Sprintf("shard-%04d.json", i))
+		}
+		if sh.path != "" {
+			if f, err := os.Open(sh.path); err == nil {
+				v, lerr := auth.LoadVerifier(f, parent.Split())
+				f.Close()
+				if lerr != nil {
+					return nil, fmt.Errorf("authserve: loading %s: %w", sh.path, lerr)
+				}
+				if v.Tolerance != opt.Tolerance {
+					return nil, fmt.Errorf("authserve: %s has tolerance %g, store wants %g", sh.path, v.Tolerance, opt.Tolerance)
+				}
+				sh.v = v
+			} else if !errors.Is(err, os.ErrNotExist) {
+				return nil, fmt.Errorf("authserve: loading %s: %w", sh.path, err)
+			}
+		}
+		if sh.v == nil {
+			v, err := auth.NewVerifier(opt.Tolerance, parent.Split())
+			if err != nil {
+				return nil, fmt.Errorf("authserve: %w", err)
+			}
+			sh.v = v
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+// checkManifest validates an existing manifest against the options, or
+// writes a fresh one for a new data directory.
+func (s *Store) checkManifest() error {
+	path := filepath.Join(s.opt.Dir, "manifest.json")
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		m := manifestJSON{Version: manifestVersion, Shards: s.opt.Shards, Tolerance: s.opt.Tolerance}
+		return atomicWriteJSON(path, m)
+	}
+	if err != nil {
+		return fmt.Errorf("authserve: manifest: %w", err)
+	}
+	var m manifestJSON
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("authserve: manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return fmt.Errorf("authserve: unsupported manifest version %d", m.Version)
+	}
+	if m.Shards != s.opt.Shards {
+		return fmt.Errorf("authserve: data dir has %d shards, store configured for %d", m.Shards, s.opt.Shards)
+	}
+	if m.Tolerance != s.opt.Tolerance {
+		return fmt.Errorf("authserve: data dir has tolerance %g, store configured for %g", m.Tolerance, s.opt.Tolerance)
+	}
+	return nil
+}
+
+// shardFor routes a device ID to its owning shard.
+func (s *Store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// Tolerance returns the store's accepted Hamming-distance fraction.
+func (s *Store) Tolerance() float64 { return s.opt.Tolerance }
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Enroll registers a device and, with persistence enabled, makes the
+// enrollment durable before returning.
+func (s *Store) Enroll(id string, pairs []core.Pair, mode core.Mode) (DeviceInfo, error) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, err := sh.v.Enroll(id, pairs, mode)
+	if err != nil {
+		return DeviceInfo{}, err
+	}
+	if err := sh.persistLocked(); err != nil {
+		// The enrollment is in memory but not durable; surface the failure
+		// so the client re-enrolls rather than trusting a lost record.
+		return DeviceInfo{}, err
+	}
+	fresh, _ := sh.v.NumFresh(id)
+	return DeviceInfo{
+		ID:    id,
+		Pairs: len(rec.Enrollment.Selections),
+		Bits:  rec.Enrollment.NumBits(),
+		Fresh: fresh,
+	}, nil
+}
+
+// Challenge draws a single-use challenge of length k and returns its
+// one-time ID. The consumed-pair state is durable before the challenge is
+// returned; the ID itself is memory-only and dies with the process.
+func (s *Store) Challenge(id string, k int) (string, *auth.Challenge, error) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch, err := sh.v.NewChallenge(id, k)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := sh.persistLocked(); err != nil {
+		// Pairs are consumed in memory but the consumption is not durable;
+		// withhold the challenge rather than risk re-issuing those pairs
+		// after a crash.
+		return "", nil, err
+	}
+	nonce := fmt.Sprintf("%016x%016x", sh.nonceRNG.Uint64(), sh.nonceRNG.Uint64())
+	sh.outstanding[nonce] = ch
+	return nonce, ch, nil
+}
+
+// Verify checks a response against the outstanding challenge, consuming
+// the challenge ID whatever the verdict. limit is the largest accepted
+// Hamming distance at the store's tolerance.
+func (s *Store) Verify(id, challengeID string, response *bits.Stream) (ok bool, distance, limit int, err error) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch, found := sh.outstanding[challengeID]
+	if !found || ch.DeviceID != id {
+		return false, 0, 0, ErrUnknownChallenge
+	}
+	delete(sh.outstanding, challengeID)
+	ok, distance, err = sh.v.Verify(ch, response)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	return ok, distance, int(s.opt.Tolerance * float64(len(ch.Pairs))), nil
+}
+
+// Device summarizes one enrolled device.
+func (s *Store) Device(id string) (DeviceInfo, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, err := sh.v.Device(id)
+	if err != nil {
+		return DeviceInfo{}, err
+	}
+	fresh, err := sh.v.NumFresh(id)
+	if err != nil {
+		return DeviceInfo{}, err
+	}
+	out := 0
+	for _, ch := range sh.outstanding {
+		if ch.DeviceID == id {
+			out++
+		}
+	}
+	return DeviceInfo{
+		ID:          id,
+		Pairs:       len(rec.Enrollment.Selections),
+		Bits:        rec.Enrollment.NumBits(),
+		Fresh:       fresh,
+		Outstanding: out,
+	}, nil
+}
+
+// NumDevices counts enrolled devices across all shards.
+func (s *Store) NumDevices() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.v.NumDevices()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// SaveAll persists every shard (a full snapshot). With write-through
+// persistence this is a no-op safety net run at graceful shutdown; without
+// a data directory it does nothing.
+func (s *Store) SaveAll() error {
+	var errs []error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		errs = append(errs, sh.persistLocked())
+		sh.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// persistLocked writes the shard's snapshot via temp-file + rename. The
+// caller holds the shard lock. Empty shards are skipped (no file until the
+// first device lands).
+func (sh *shard) persistLocked() error {
+	if sh.path == "" || sh.v.NumDevices() == 0 {
+		return nil
+	}
+	tmp := sh.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("authserve: snapshot: %w", err)
+	}
+	if err := sh.v.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("authserve: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("authserve: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, sh.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("authserve: snapshot: %w", err)
+	}
+	return nil
+}
+
+// atomicWriteJSON marshals v and writes it with the same temp-file +
+// rename discipline as shard snapshots.
+func atomicWriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package authserve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ropuf/internal/auth"
+	"ropuf/internal/bits"
+	"ropuf/internal/core"
+	"ropuf/internal/fleet"
+)
+
+// TestStoreConcurrentHammer drives the sharded store from many goroutines
+// with overlapping device IDs — parallel enrolls racing on the same ID,
+// challenge/verify/device-info traffic interleaved — and checks the
+// aggregate invariants afterwards. Run under -race (make verify), this
+// pins the thread-safety contract that wraps the non-thread-safe
+// auth.Verifier.
+func TestStoreConcurrentHammer(t *testing.T) {
+	const (
+		numDevices = 24
+		goroutines = 16
+		opsPerG    = 40
+	)
+	devices, err := fleet.Synthetic(numDevices, 16, 7, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := Open(StoreOptions{Shards: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var enrolled, dupes, challenges, verified atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for op := 0; op < opsPerG; op++ {
+				d := devices[(g+op)%numDevices]
+				switch op % 4 {
+				case 0: // racing enrolls on overlapping IDs
+					_, err := store.Enroll(d.ID, d.Pairs, core.Case2)
+					switch {
+					case err == nil:
+						enrolled.Add(1)
+					case errors.Is(err, auth.ErrDuplicateDevice):
+						dupes.Add(1)
+					default:
+						t.Errorf("enroll %s: %v", d.ID, err)
+					}
+				case 1: // challenge + immediate verify with reference bits
+					nonce, ch, err := store.Challenge(d.ID, 2)
+					if err != nil {
+						if errors.Is(err, auth.ErrUnknownDevice) || errors.Is(err, auth.ErrExhausted) {
+							continue
+						}
+						t.Errorf("challenge %s: %v", d.ID, err)
+						continue
+					}
+					challenges.Add(1)
+					resp := bits.New(len(ch.Pairs))
+					for range ch.Pairs {
+						resp.Append(false)
+					}
+					if _, _, _, err := store.Verify(d.ID, nonce, resp); err != nil {
+						t.Errorf("verify %s: %v", d.ID, err)
+						continue
+					}
+					verified.Add(1)
+				case 2: // replayed/unknown challenge must never panic
+					if _, _, _, err := store.Verify(d.ID, "bogus", bits.New(0)); !errors.Is(err, ErrUnknownChallenge) {
+						t.Errorf("bogus verify %s: %v", d.ID, err)
+					}
+				case 3: // read path
+					if _, err := store.Device(d.ID); err != nil && !errors.Is(err, auth.ErrUnknownDevice) {
+						t.Errorf("device %s: %v", d.ID, err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every device was enrolled exactly once across all racing attempts.
+	if got := store.NumDevices(); got != numDevices {
+		t.Fatalf("store holds %d devices, want %d", got, numDevices)
+	}
+	if enrolled.Load() != numDevices {
+		t.Fatalf("%d successful enrolls, want %d (dupes %d)", enrolled.Load(), numDevices, dupes.Load())
+	}
+	if verified.Load() != challenges.Load() {
+		t.Fatalf("%d challenges but %d verifies — outstanding table leaked", challenges.Load(), verified.Load())
+	}
+	// Consumed-pair accounting adds up: fresh = bits - 2*challenges, summed.
+	totalFresh, totalBits := 0, 0
+	for _, d := range devices {
+		info, err := store.Device(d.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalFresh += info.Fresh
+		totalBits += info.Bits
+		if info.Outstanding != 0 {
+			t.Fatalf("device %s still has %d outstanding challenges", d.ID, info.Outstanding)
+		}
+	}
+	if want := totalBits - 2*int(challenges.Load()); totalFresh != want {
+		t.Fatalf("fresh pairs %d, want %d (%d bits - 2x%d challenges)", totalFresh, want, totalBits, challenges.Load())
+	}
+}
+
+// TestCrashRestart simulates a kill -9 between mutations: the store is
+// reopened from its write-through snapshots without SaveAll. No enrolled
+// device may be lost, consumed pairs must stay consumed, and challenges
+// issued before the crash must be rejected afterwards.
+func TestCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	devices, err := fleet.Synthetic(6, 16, 7, 0xDEAD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := StoreOptions{Shards: 4, Dir: dir, Seed: 5}
+	store, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range devices {
+		if _, err := store.Enroll(d.ID, d.Pairs, core.Case2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Issue challenges; leave them all outstanding (unverified) at the
+	// moment of the "crash".
+	type issued struct {
+		id, nonce string
+		pairs     []int
+	}
+	var preCrash []issued
+	freshBefore := map[string]int{}
+	for _, d := range devices {
+		nonce, ch, err := store.Challenge(d.ID, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preCrash = append(preCrash, issued{id: d.ID, nonce: nonce, pairs: ch.Pairs})
+		info, err := store.Device(d.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshBefore[d.ID] = info.Fresh
+	}
+
+	// Crash: drop the store on the floor — no SaveAll, no drain. The
+	// write-through snapshots on disk are all that survives.
+	store = nil
+
+	restored, err := Open(opt)
+	if err != nil {
+		t.Fatalf("reopening after crash: %v", err)
+	}
+	if got := restored.NumDevices(); got != len(devices) {
+		t.Fatalf("restored %d devices, want %d", got, len(devices))
+	}
+	for _, d := range devices {
+		info, err := restored.Device(d.ID)
+		if err != nil {
+			t.Fatalf("device %s lost in crash: %v", d.ID, err)
+		}
+		if info.Fresh != freshBefore[d.ID] {
+			t.Fatalf("device %s fresh=%d after restart, want %d (consumed pairs resurrected)",
+				d.ID, info.Fresh, freshBefore[d.ID])
+		}
+		if info.Outstanding != 0 {
+			t.Fatalf("device %s has %d outstanding challenges after restart", d.ID, info.Outstanding)
+		}
+	}
+	// Every pre-crash challenge is dead: a perfect response is rejected.
+	for _, iss := range preCrash {
+		resp := bits.New(len(iss.pairs))
+		for range iss.pairs {
+			resp.Append(true)
+		}
+		if _, _, _, err := restored.Verify(iss.id, iss.nonce, resp); !errors.Is(err, ErrUnknownChallenge) {
+			t.Fatalf("pre-crash challenge %s for %s not rejected: %v", iss.nonce, iss.id, err)
+		}
+	}
+	// New challenges never re-issue pairs consumed before the crash.
+	for i, iss := range preCrash {
+		consumed := map[int]bool{}
+		for _, p := range iss.pairs {
+			consumed[p] = true
+		}
+		for {
+			_, ch, err := restored.Challenge(iss.id, 4)
+			if errors.Is(err, auth.ErrExhausted) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range ch.Pairs {
+				if consumed[p] {
+					t.Fatalf("device %s: pair %d re-issued after crash (challenge %d)", iss.id, p, i)
+				}
+			}
+		}
+	}
+}
+
+// TestOpenOptionMismatch pins that a data directory cannot be silently
+// reopened with a different shard count or tolerance.
+func TestOpenOptionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(StoreOptions{Shards: 4, Tolerance: 0.1, Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(StoreOptions{Shards: 8, Tolerance: 0.1, Dir: dir}); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	if _, err := Open(StoreOptions{Shards: 4, Tolerance: 0.2, Dir: dir}); err == nil {
+		t.Fatal("tolerance mismatch accepted")
+	}
+	if _, err := Open(StoreOptions{Shards: 4, Tolerance: 0.1, Dir: dir}); err != nil {
+		t.Fatalf("matching reopen rejected: %v", err)
+	}
+}
+
+// TestCorruptSnapshotRejected pins that Open surfaces a decodable error
+// for a torn or corrupted shard file instead of silently dropping devices.
+func TestCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	opt := StoreOptions{Shards: 2, Dir: dir}
+	store, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices, err := fleet.Synthetic(2, 8, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range devices {
+		if _, err := store.Enroll(d.ID, d.Pairs, core.Case2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no shard snapshots written: %v %v", files, err)
+	}
+	if err := corruptFile(files[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(opt); err == nil {
+		t.Fatal("corrupted snapshot accepted")
+	}
+}
+
+// corruptFile truncates a snapshot mid-file, simulating torn bytes from a
+// filesystem that lost the rename's atomicity guarantee.
+func corruptFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data[:len(data)/2], 0o644)
+}

@@ -1,0 +1,82 @@
+package authserve
+
+// v1 wire format. These types ARE the public contract of the HTTP API:
+// deployed clients parse exactly this JSON, so the shapes are pinned by a
+// golden-file test (wire_test.go) and must only ever grow new optional
+// fields. Field renames, removals, or type changes require a /v2.
+
+// PairWire is one PUF pair's measured per-stage delays, in picoseconds.
+type PairWire struct {
+	Alpha []float64 `json:"alpha"`
+	Beta  []float64 `json:"beta"`
+}
+
+// EnrollRequest is the body of POST /v1/enroll: a device's one-time
+// trusted-environment measurement.
+type EnrollRequest struct {
+	ID string `json:"id"`
+	// Mode selects the paper's selection variant: "case1" or "case2"
+	// (empty means "case2").
+	Mode  string     `json:"mode,omitempty"`
+	Pairs []PairWire `json:"pairs"`
+}
+
+// EnrollResponse confirms an enrollment.
+type EnrollResponse struct {
+	ID string `json:"id"`
+	// Pairs is the total number of measured pairs; Bits the usable
+	// (unmasked) subset; Fresh the pairs still available for challenges.
+	Pairs int `json:"pairs"`
+	Bits  int `json:"bits"`
+	Fresh int `json:"fresh"`
+}
+
+// ChallengeRequest is the body of POST /v1/challenge.
+type ChallengeRequest struct {
+	ID string `json:"id"`
+	// K is the challenge length in pairs.
+	K int `json:"k"`
+}
+
+// ChallengeResponse names the pairs the device must evaluate, in order.
+// ChallengeID is the single-use handle a later verify must present; the
+// server invalidates it on first use and on restart.
+type ChallengeResponse struct {
+	ChallengeID string `json:"challenge_id"`
+	ID          string `json:"id"`
+	Pairs       []int  `json:"pairs"`
+}
+
+// VerifyRequest is the body of POST /v1/verify. Response is the device's
+// measured bits as a '0'/'1' string, one bit per challenged pair.
+type VerifyRequest struct {
+	ID          string `json:"id"`
+	ChallengeID string `json:"challenge_id"`
+	Response    string `json:"response"`
+}
+
+// VerifyResponse is the authentication verdict. Distance is the Hamming
+// distance between the response and the stored reference; Limit the
+// largest accepted distance at the server's tolerance; Bits the challenge
+// length.
+type VerifyResponse struct {
+	OK       bool `json:"ok"`
+	Distance int  `json:"distance"`
+	Limit    int  `json:"limit"`
+	Bits     int  `json:"bits"`
+}
+
+// DeviceResponse is the body of GET /v1/devices/{id}.
+type DeviceResponse struct {
+	ID    string `json:"id"`
+	Pairs int    `json:"pairs"`
+	Bits  int    `json:"bits"`
+	Fresh int    `json:"fresh"`
+	// Outstanding counts issued-but-unverified challenges.
+	Outstanding int `json:"outstanding"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,101 @@
+package authserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ropuf/internal/core"
+	"ropuf/internal/fleet"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire-format files")
+
+// TestWireFormatGolden pins the complete v1 HTTP wire format — request and
+// response bytes for all four routes plus the error shape — against a
+// golden file. Deployed clients parse exactly these bytes; if this test
+// breaks, the change breaks them too. Evolve the API by adding optional
+// fields (then regenerate with -update) or by versioning to /v2.
+func TestWireFormatGolden(t *testing.T) {
+	// Tiny deterministic device: 4 pairs of 3 stages keeps the golden file
+	// reviewable while exercising every field.
+	devices, err := fleet.Synthetic(1, 4, 3, 0x60D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := devices[0]
+	_, ts := newTestServer(t, StoreOptions{Tolerance: 0.25, Shards: 2, Seed: 0x60D}, ServerOptions{})
+	c := ts.Client()
+
+	var log bytes.Buffer
+	record := func(title string, code int, body []byte) {
+		fmt.Fprintf(&log, "== %s (%d) ==\n%s\n", title, code, bytes.TrimRight(body, "\n"))
+	}
+	reqJSON := func(v any) []byte {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	enrollReq := EnrollRequest{ID: d.ID, Mode: "case2"}
+	for _, p := range d.Pairs {
+		enrollReq.Pairs = append(enrollReq.Pairs, PairWire{Alpha: p.Alpha, Beta: p.Beta})
+	}
+	body := reqJSON(enrollReq)
+	record("POST /v1/enroll request", 0, body)
+	code, resp := post(t, c, ts.URL+"/v1/enroll", body)
+	record("POST /v1/enroll response", code, resp)
+
+	chBody := reqJSON(ChallengeRequest{ID: d.ID, K: 2})
+	record("POST /v1/challenge request", 0, chBody)
+	code, resp = post(t, c, ts.URL+"/v1/challenge", chBody)
+	record("POST /v1/challenge response", code, resp)
+	cr := mustUnmarshal[ChallengeResponse](t, resp)
+
+	enr, err := core.Enroll(d.Pairs, core.Case2, 0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBody := reqJSON(VerifyRequest{ID: d.ID, ChallengeID: cr.ChallengeID,
+		Response: respond(t, enr, cr.Pairs, d.Pairs)})
+	record("POST /v1/verify request", 0, vBody)
+	code, resp = post(t, c, ts.URL+"/v1/verify", vBody)
+	record("POST /v1/verify response", code, resp)
+
+	code, resp = get(t, c, ts.URL+"/v1/devices/"+d.ID)
+	record("GET /v1/devices/{id} response", code, resp)
+
+	// Error shape: the consumed challenge ID replayed.
+	code, resp = post(t, c, ts.URL+"/v1/verify", vBody)
+	record("POST /v1/verify replay response", code, resp)
+	if code != http.StatusNotFound {
+		t.Fatalf("replay returned %d, want 404", code)
+	}
+
+	golden := filepath.Join("testdata", "wire_v1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, log.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to generate): %v", err)
+	}
+	if !bytes.Equal(log.Bytes(), want) {
+		t.Fatalf("v1 wire format drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\n"+
+			"If this change is intentional AND backward compatible (new optional fields only), "+
+			"regenerate with: go test ./internal/authserve -run TestWireFormatGolden -update",
+			log.Bytes(), want)
+	}
+}

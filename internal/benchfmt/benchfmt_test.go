@@ -1,4 +1,4 @@
-package main
+package benchfmt
 
 import (
 	"encoding/json"
@@ -18,7 +18,7 @@ ok  	ropuf	1.234s
 
 func TestParse(t *testing.T) {
 	var echo strings.Builder
-	results, err := parse(strings.NewReader(sample), &echo)
+	results, err := Parse(strings.NewReader(sample), &echo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestMarshalDeterministic(t *testing.T) {
 		"BenchmarkB": {Iterations: 1, NsPerOp: 2},
 		"BenchmarkA": {Iterations: 3, NsPerOp: 4, AllocsPerOp: 5},
 	}
-	data, err := marshal(results)
+	data, err := Marshal(results)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,5 +62,23 @@ func TestMarshalDeterministic(t *testing.T) {
 	}
 	if decoded["BenchmarkA"].AllocsPerOp != 5 {
 		t.Fatalf("round trip lost data: %+v", decoded)
+	}
+}
+
+// TestLineRoundTrip pins that a rendered Line parses back to the same
+// Result — loadgen emits Lines, benchjson Parses them.
+func TestLineRoundTrip(t *testing.T) {
+	in := Result{Iterations: 4096, NsPerOp: 812345}
+	line := in.Line("BenchmarkLoadgenVerify")
+	parsed, err := Parse(strings.NewReader(line+"\n"), &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := parsed["BenchmarkLoadgenVerify"]
+	if !ok {
+		t.Fatalf("line %q did not parse: %v", line, parsed)
+	}
+	if got != in {
+		t.Fatalf("round trip: got %+v, want %+v", got, in)
 	}
 }
