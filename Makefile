@@ -15,8 +15,15 @@ test:
 	$(GO) test ./...
 
 # PR gate: static checks plus the full test suite under the race detector.
+# govulncheck runs when installed (CI installs it; local trees without it
+# skip with a note rather than failing).
 verify:
 	$(GO) vet ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 	$(GO) test -race ./...
 
 # Perf trajectory: run the fleet enrollment/evaluation benchmarks with
@@ -41,14 +48,24 @@ fuzz:
 
 # End-to-end smoke of the authentication service: boot `ropuf serve` on an
 # ephemeral port with a persistent store, drive it with `ropuf loadgen`,
-# then SIGINT the server and require a clean drain.
+# then SIGINT the server and require a clean drain. Both processes write
+# span JSONL files; `ropuf tracestat` must stitch the client and server
+# spans into shared traces (>=99% of traces cross the process boundary)
+# and its report lands in TRACESTAT.txt for the CI artifact.
 serve-smoke:
 	$(GO) build -o /tmp/ropuf-smoke ./cmd/ropuf
 	rm -rf /tmp/ropuf-smoke-data && mkdir -p /tmp/ropuf-smoke-data
-	/tmp/ropuf-smoke serve -addr 127.0.0.1:18080 -data /tmp/ropuf-smoke-data & \
+	/tmp/ropuf-smoke serve -addr 127.0.0.1:18080 -data /tmp/ropuf-smoke-data \
+		-trace-out /tmp/ropuf-smoke-data/authserve.jsonl -log-level info & \
 	SRV=$$!; sleep 1; \
 	/tmp/ropuf-smoke loadgen -addr http://127.0.0.1:18080 -devices 32 -rounds 2 \
+		-trace-out /tmp/ropuf-smoke-data/loadgen.jsonl \
 		-bench-out BENCH_authserve.json || { kill $$SRV; exit 1; }; \
 	curl -sf http://127.0.0.1:18080/metrics | grep -q 'ropuf_authserve_request_duration_seconds_count{route="verify",code="200"}' \
 		|| { echo "missing verify latency metric"; kill $$SRV; exit 1; }; \
+	curl -sf http://127.0.0.1:18080/healthz | grep -q '"status":"ok"' \
+		|| { echo "healthz not ok under normal load"; kill $$SRV; exit 1; }; \
 	kill -INT $$SRV; wait $$SRV
+	/tmp/ropuf-smoke tracestat -require-stitched 0.99 \
+		/tmp/ropuf-smoke-data/loadgen.jsonl /tmp/ropuf-smoke-data/authserve.jsonl \
+		| tee TRACESTAT.txt

@@ -15,11 +15,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"strconv"
+
 	"ropuf/internal/auth"
 	"ropuf/internal/authserve"
 	"ropuf/internal/benchfmt"
 	"ropuf/internal/core"
 	"ropuf/internal/fleet"
+	"ropuf/internal/obs"
 )
 
 // runLoadgen drives a running authserve instance with a synthetic device
@@ -37,6 +40,11 @@ import (
 // req/s is the server's verify throughput, not the client's silicon
 // simulation speed. Results are printed as `go test -bench` style lines
 // and written to -bench-out in the same JSON shape cmd/benchjson produces.
+//
+// With -trace-out every request runs inside a client span whose identity is
+// injected as a traceparent header; point the server at its own -trace-out
+// file and `ropuf tracestat client.jsonl server.jsonl` stitches the two
+// into end-to-end traces.
 func runLoadgen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "authserve base URL")
@@ -49,6 +57,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 	noise := fs.Float64("noise", 2, "re-measurement noise sigma (ps)")
 	seed := fs.Uint64("seed", 1, "fleet fabrication seed")
 	benchOut := fs.String("bench-out", "BENCH_authserve.json", "write the perf record here (empty = skip)")
+	trace := fs.String("trace-out", *traceOut, "write client span events as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -73,6 +82,17 @@ func runLoadgen(ctx context.Context, args []string) error {
 		MaxIdleConnsPerHost: *concurrency,
 	}}
 	lg := &loadgen{base: *addr, client: client}
+	if *trace != "" {
+		traceFile, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("loadgen: trace output: %w", err)
+		}
+		defer func() {
+			_ = traceFile.Sync()
+			_ = traceFile.Close()
+		}()
+		lg.tracer = obs.NewTracer(obs.NewJSONLSink(traceFile), obs.WithService("loadgen"))
+	}
 
 	// Phase 1: enroll the fleet over HTTP.
 	enrollStart := time.Now()
@@ -84,7 +104,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 			req.Pairs = append(req.Pairs, authserve.PairWire{Alpha: p.Alpha, Beta: p.Beta})
 		}
 		var resp authserve.EnrollResponse
-		code, err := lg.postJSON(ctx, "/v1/enroll", req, &resp)
+		code, err := lg.postJSON(ctx, "enroll", "/v1/enroll", req, &resp)
 		switch {
 		case err != nil:
 			return fmt.Errorf("enroll %s: %w", d.ID, err)
@@ -94,7 +114,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 		case code == http.StatusConflict:
 			// Already enrolled (persistent store from a previous run).
 			var info authserve.DeviceResponse
-			if code, err := lg.getJSON(ctx, "/v1/devices/"+d.ID, &info); err != nil || code != http.StatusOK {
+			if code, err := lg.getJSON(ctx, "device", "/v1/devices/"+d.ID, &info); err != nil || code != http.StatusOK {
 				return fmt.Errorf("enroll %s: device already exists but is unreadable (%d, %v)", d.ID, code, err)
 			}
 			freshPerDevice[i] = info.Fresh
@@ -126,7 +146,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 		var local []verifyJob
 		for r := 0; r < n; r++ {
 			var ch authserve.ChallengeResponse
-			code, err := lg.postJSON(ctx, "/v1/challenge", authserve.ChallengeRequest{ID: d.ID, K: *k}, &ch)
+			code, err := lg.postJSON(ctx, "challenge", "/v1/challenge", authserve.ChallengeRequest{ID: d.ID, K: *k}, &ch)
 			if err != nil {
 				return fmt.Errorf("challenge %s: %w", d.ID, err)
 			}
@@ -175,7 +195,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 				}
 				t0 := time.Now()
 				var vr authserve.VerifyResponse
-				code, err := lg.postJSON(ctx, "/v1/verify", jobs[i].req, &vr)
+				code, err := lg.postJSON(ctx, "verify", "/v1/verify", jobs[i].req, &vr)
 				latencies[w] = append(latencies[w], time.Since(t0))
 				switch {
 				case err != nil:
@@ -243,6 +263,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 type loadgen struct {
 	base   string
 	client *http.Client
+	tracer *obs.Tracer // nil unless -trace-out is set
 }
 
 // forEach runs fn(0..n-1) across `workers` goroutines, stopping early on
@@ -274,7 +295,7 @@ func (lg *loadgen) forEach(ctx context.Context, workers, n int, fn func(i int) e
 	return ctx.Err()
 }
 
-func (lg *loadgen) postJSON(ctx context.Context, path string, in, out any) (int, error) {
+func (lg *loadgen) postJSON(ctx context.Context, route, path string, in, out any) (int, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, err
@@ -284,23 +305,31 @@ func (lg *loadgen) postJSON(ctx context.Context, path string, in, out any) (int,
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	return lg.do(req, out)
+	return lg.do(ctx, route, req, out)
 }
 
-func (lg *loadgen) getJSON(ctx context.Context, path string, out any) (int, error) {
+func (lg *loadgen) getJSON(ctx context.Context, route, path string, out any) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, lg.base+path, nil)
 	if err != nil {
 		return 0, err
 	}
-	return lg.do(req, out)
+	return lg.do(ctx, route, req, out)
 }
 
-func (lg *loadgen) do(req *http.Request, out any) (int, error) {
+// do sends the request inside a client span and injects its trace identity
+// as a traceparent header, so the server's spans land in the same trace and
+// `ropuf tracestat` can stitch the two JSONL files (DESIGN.md §9).
+func (lg *loadgen) do(ctx context.Context, route string, req *http.Request, out any) (int, error) {
+	spanCtx, span := lg.tracer.Start(ctx, "loadgen."+route)
+	defer span.End()
+	obs.Inject(spanCtx, req.Header)
 	resp, err := lg.client.Do(req)
 	if err != nil {
+		span.SetAttr("error", err.Error())
 		return 0, err
 	}
 	defer resp.Body.Close()
+	span.SetAttr("code", strconv.Itoa(resp.StatusCode))
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
 	if err != nil {
 		return resp.StatusCode, err

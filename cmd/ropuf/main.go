@@ -5,7 +5,7 @@
 // Usage:
 //
 //	ropuf [-out dir] [-parallel N] [-metrics-addr addr] [-trace-out file]
-//	      list|all|experiment <id>...|verify|fleet
+//	      [-log-level level] list|all|experiment <id>...|verify|fleet
 //
 //	ropuf list                 print available experiment IDs
 //	ropuf experiment <id>...   run one or more experiments (or "all")
@@ -14,13 +14,15 @@
 //	ropuf fleet [flags]        enroll + evaluate a synthetic device fleet concurrently
 //	ropuf serve [flags]        run the PUF authentication HTTP service
 //	ropuf loadgen [flags]      drive a running authserve with a synthetic fleet
+//	ropuf tracestat <file>...  analyze span JSONL files from -trace-out
 //
 // Long-running commands (all, fleet) are observable while they run:
 // -metrics-addr serves /metrics (Prometheus text), /healthz, and
-// /debug/pprof on the given address, and -trace-out streams span events as
-// JSON lines. Ctrl-C cancels the batch cleanly — completed work is
-// reported, counters are printed, and the trace file is flushed before
-// exit.
+// /debug/pprof on the given address, -trace-out streams span events as
+// JSON lines, and -log-level emits structured JSON logs (stamped with
+// trace/span IDs) to stderr. Ctrl-C cancels the batch cleanly — completed
+// work is reported, counters are printed, and the trace file is flushed
+// before exit.
 package main
 
 import (
@@ -34,12 +36,15 @@ import (
 	"syscall"
 	"time"
 
+	"log/slog"
+
 	"ropuf/internal/circuit"
 	"ropuf/internal/core"
 	"ropuf/internal/experiments"
 	"ropuf/internal/fleet"
 	"ropuf/internal/metrics"
 	"ropuf/internal/obs"
+	"ropuf/internal/obs/logx"
 )
 
 var (
@@ -47,7 +52,23 @@ var (
 	parallel    = flag.Int("parallel", 0, "run 'all' with N concurrent workers (0 = sequential)")
 	metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while the command runs")
 	traceOut    = flag.String("trace-out", "", "write span events as JSON lines to this file")
+	logLevel    = flag.String("log-level", "", "emit structured JSON logs to stderr at this level (debug, info, warn, error; empty = off)")
 )
+
+// newLogger builds the process logger from -log-level: a JSONL slog logger
+// on stderr, or a no-op logger when the flag is empty. Records carry
+// trace_id/span_id whenever the context holds a span, so log lines and the
+// -trace-out span stream cross-reference (DESIGN.md §9).
+func newLogger(level string) (*slog.Logger, error) {
+	if level == "" {
+		return logx.Nop(), nil
+	}
+	l, err := logx.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return logx.New(os.Stderr, l), nil
+}
 
 func main() {
 	flag.Usage = usage
@@ -80,10 +101,14 @@ func usage() {
                              (see 'ropuf serve -h' for flags)
   ropuf loadgen [flags]      drive a running authserve with a synthetic fleet
                              (see 'ropuf loadgen -h' for flags)
+  ropuf tracestat <file>...  analyze span JSONL files: stitch cross-process
+                             traces, report per-span latency and the critical
+                             path (see 'ropuf tracestat -h' for flags)
 
 observability (before the subcommand; 'fleet' also accepts them after):
   -metrics-addr addr         serve /metrics, /healthz, /debug/pprof while running
   -trace-out file            stream span events as JSON lines
+  -log-level level           structured JSON logs on stderr (debug..error)
 `)
 }
 
@@ -111,6 +136,8 @@ func run(ctx context.Context, args []string) error {
 		return runServe(ctx, args[1:])
 	case "loadgen":
 		return runLoadgen(ctx, args[1:])
+	case "tracestat":
+		return runTracestat(args[1:])
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", args[0])
@@ -144,7 +171,7 @@ func openObs(addr, tracePath string) (*obsSession, error) {
 			return nil, fmt.Errorf("trace output: %w", err)
 		}
 		s.traceFile = f
-		s.Tracer = obs.NewTracer(obs.NewJSONLSink(f))
+		s.Tracer = obs.NewTracer(obs.NewJSONLSink(f), obs.WithService("ropuf"))
 	}
 	return s, nil
 }
@@ -217,10 +244,14 @@ func runFleet(ctx context.Context, args []string) error {
 		return err
 	}
 	defer session.Close()
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
 	counters := &metrics.FleetCounters{}
 	counters.Bind(session.Registry)
 	opt := fleet.Options{Workers: *workers, Mode: mode, Threshold: *threshold,
-		Counters: counters, Tracer: session.Tracer}
+		Counters: counters, Tracer: session.Tracer, Logger: logger}
 
 	rep, batchErr := fleet.Enroll(ctx, devices, opt)
 	if rep == nil {
@@ -305,9 +336,14 @@ func runExperiments(ctx context.Context, ids []string) error {
 		return err
 	}
 	defer session.Close()
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
 	r := experiments.NewRunner()
 	r.Tracer = session.Tracer
 	r.Obs = session.Registry
+	r.Logger = logger
 	all := len(ids) == 1 && ids[0] == "all"
 	if all {
 		ids = experiments.IDs()

@@ -17,8 +17,12 @@ import (
 
 // runServe starts the PUF authentication HTTP service: the four /v1 routes
 // (enroll, challenge, verify, devices/{id}) plus /metrics, /healthz and
-// /debug/pprof, all on one address. With -data the device store survives
-// restarts (write-through snapshots); without it the store is in-memory.
+// /debug/pprof, all on one address. /healthz is SLO-aware: it answers
+// 503 with machine-readable reasons while the error budget (-slo-objective
+// over -slo-window) burns faster than -max-burn-rate, the admission queue
+// is saturated, or store snapshots are failing — and recovers to 200 once
+// the window clears. With -data the device store survives restarts
+// (write-through snapshots); without it the store is in-memory.
 // Ctrl-C / SIGTERM drain gracefully: the listener stops accepting,
 // in-flight requests get -drain to finish, and the store is snapshotted a
 // final time before exit.
@@ -33,6 +37,10 @@ func runServe(ctx context.Context, args []string) error {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	seed := fs.Uint64("seed", 0, "challenge RNG seed (0 = cryptographically random)")
 	trace := fs.String("trace-out", *traceOut, "write span events as JSON lines to this file")
+	level := fs.String("log-level", *logLevel, "structured JSON logs on stderr (debug, info, warn, error; empty = off)")
+	sloObjective := fs.Float64("slo-objective", 0.99, "availability objective for /healthz (fraction of non-5xx/429 responses)")
+	sloWindow := fs.Duration("slo-window", time.Minute, "rolling window the SLO burn rate is computed over")
+	maxBurn := fs.Float64("max-burn-rate", 10, "error-budget burn rate at which /healthz reports degraded")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -56,11 +64,18 @@ func runServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	logger, err := newLogger(*level)
+	if err != nil {
+		return err
+	}
 	opt := authserve.ServerOptions{
 		MaxInflight:  *maxInflight,
 		MaxQueue:     *maxQueue,
 		DrainTimeout: *drain,
 		Registry:     obs.NewRegistry(),
+		Logger:       logger,
+		SLO:          obs.SLO{Objective: *sloObjective, Window: *sloWindow},
+		MaxBurnRate:  *maxBurn,
 	}
 	var traceFile *os.File
 	if *trace != "" {
@@ -72,7 +87,7 @@ func runServe(ctx context.Context, args []string) error {
 			_ = traceFile.Sync()
 			_ = traceFile.Close()
 		}()
-		opt.Tracer = obs.NewTracer(obs.NewJSONLSink(traceFile))
+		opt.Tracer = obs.NewTracer(obs.NewJSONLSink(traceFile), obs.WithService("authserve"))
 	}
 	srv := authserve.NewServer(store, opt)
 

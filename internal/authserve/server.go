@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"ropuf/internal/bits"
 	"ropuf/internal/core"
 	"ropuf/internal/obs"
+	"ropuf/internal/obs/logx"
 )
 
 // maxBodyBytes bounds request bodies. The largest legitimate body is an
@@ -36,8 +38,25 @@ type ServerOptions struct {
 	// Registry receives the per-route metrics and backs the /metrics
 	// endpoint; nil means a private registry (still scrapable).
 	Registry *obs.Registry
-	// Tracer, when non-nil, emits one span per handled request.
+	// Tracer, when non-nil, emits spans per handled request: a server span
+	// (joining the client's trace when the request carried a traceparent
+	// header), a queue-wait child, and a store-operation child.
 	Tracer *obs.Tracer
+	// Logger receives structured request and lifecycle records, stamped
+	// with trace/span IDs when tracing is on; nil disables logging.
+	Logger *slog.Logger
+
+	// SLO is the availability objective /healthz tracks over the
+	// request-duration series: 5xx and 429 responses spend error budget.
+	// The zero value means 99% over a 60s rolling window.
+	SLO obs.SLO
+	// MaxBurnRate is the burn-rate threshold at which /healthz degrades;
+	// defaults to 10 (budget burning 10× too fast).
+	MaxBurnRate float64
+	// MinSLORequests is the minimum in-window request count before burn
+	// rate can degrade health, damping flapping on trickle traffic.
+	// Defaults to 10.
+	MinSLORequests int
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -53,6 +72,21 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
 	}
+	if o.Logger == nil {
+		o.Logger = logx.Nop()
+	}
+	if o.SLO.Objective == 0 {
+		o.SLO.Objective = 0.99
+	}
+	if o.SLO.Window == 0 {
+		o.SLO.Window = time.Minute
+	}
+	if o.MaxBurnRate <= 0 {
+		o.MaxBurnRate = 10
+	}
+	if o.MinSLORequests <= 0 {
+		o.MinSLORequests = 10
+	}
 	return o
 }
 
@@ -61,6 +95,7 @@ type Server struct {
 	store   *Store
 	opt     ServerOptions
 	tracer  *obs.Tracer
+	log     *slog.Logger
 	sem     chan struct{}
 	waiting atomic.Int64
 
@@ -68,6 +103,10 @@ type Server struct {
 	reqTotal  *obs.CounterVec
 	throttled *obs.CounterVec
 	inflight  *obs.Gauge
+
+	burn     *obs.BurnTracker // error-budget burn over the request series
+	snapBurn *obs.BurnTracker // snapshot failures over the same window
+	degraded atomic.Bool      // last /healthz verdict, for transition logs
 
 	// testHookInflight, when set (tests only), runs inside each admitted
 	// request's inflight window — it lets tests hold requests open to
@@ -83,6 +122,7 @@ func NewServer(store *Store, opt ServerOptions) *Server {
 		store:  store,
 		opt:    opt,
 		tracer: opt.Tracer,
+		log:    opt.Logger,
 		sem:    make(chan struct{}, opt.MaxInflight),
 		reqDur: reg.NewHistogramVec("ropuf_authserve_request_duration_seconds",
 			"Wall-clock latency of authserve HTTP requests.", nil, "route", "code"),
@@ -96,11 +136,85 @@ func NewServer(store *Store, opt ServerOptions) *Server {
 	reg.NewGaugeFunc("ropuf_authserve_devices",
 		"Devices currently enrolled in the store.",
 		func() float64 { return float64(store.NumDevices()) })
+	reg.NewGaugeFunc("ropuf_authserve_queue_depth",
+		"Requests waiting for an inflight slot.",
+		func() float64 { return float64(s.waiting.Load()) })
+	obs.RegisterRuntimeMetrics(reg)
+	s.burn = obs.NewBurnTracker(opt.SLO, s.sampleRequests)
+	s.snapBurn = obs.NewBurnTracker(obs.SLO{Objective: 0.5, Window: opt.SLO.Window},
+		func() (float64, float64) {
+			f := float64(store.SnapshotFailures())
+			return f, f
+		})
 	return s
 }
 
+// sampleRequests sums the request-duration series into cumulative (total,
+// errors) counts; 5xx and 429 responses count as errors.
+func (s *Server) sampleRequests() (total, errors float64) {
+	for _, lv := range s.reqDur.LabelSets() {
+		n := float64(s.reqDur.With(lv...).Count())
+		total += n
+		if code, err := strconv.Atoi(lv[1]); err == nil &&
+			(code >= 500 || code == http.StatusTooManyRequests) {
+			errors += n
+		}
+	}
+	return total, errors
+}
+
+// Health reports the current degradation reasons: error-budget burn over
+// the SLO window, a saturated admission queue, and recent snapshot-write
+// failures. An empty slice means healthy.
+func (s *Server) Health() []obs.HealthReason {
+	var reasons []obs.HealthReason
+	rep := s.burn.Report()
+	if rep.Total >= float64(s.opt.MinSLORequests) && rep.BurnRate >= s.opt.MaxBurnRate {
+		reasons = append(reasons, obs.HealthReason{
+			Code: "error_budget_burn",
+			Detail: fmt.Sprintf("burn rate %.1f over %s: %.0f of %.0f requests were 5xx/429 (objective %g)",
+				rep.BurnRate, rep.Window, rep.Errors, rep.Total, s.opt.SLO.Objective),
+			Value: rep.BurnRate,
+		})
+	}
+	if depth := s.waiting.Load(); depth >= int64(s.opt.MaxQueue) {
+		reasons = append(reasons, obs.HealthReason{
+			Code:   "queue_saturated",
+			Detail: fmt.Sprintf("admission queue full: %d waiting of %d allowed", depth, s.opt.MaxQueue),
+			Value:  float64(depth),
+		})
+	}
+	if snap := s.snapBurn.Report(); snap.Errors > 0 {
+		reasons = append(reasons, obs.HealthReason{
+			Code: "snapshot_failures",
+			Detail: fmt.Sprintf("%.0f shard snapshot writes failed within %s; enrollments may not be durable",
+				snap.Errors, snap.Window),
+			Value: snap.Errors,
+		})
+	}
+	return reasons
+}
+
+// healthz serves the degradation-aware health contract (see
+// obs.HealthHandler) and logs ok↔degraded transitions.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	reasons := s.Health()
+	degraded := len(reasons) > 0
+	if s.degraded.Swap(degraded) != degraded {
+		if degraded {
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "health degraded",
+				slog.String("first_reason", reasons[0].Code),
+				slog.Int("reasons", len(reasons)))
+		} else {
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "health recovered")
+		}
+	}
+	obs.HealthHandler(func() []obs.HealthReason { return reasons })(w, r)
+}
+
 // Handler builds the full route table: the four /v1 API routes plus
-// /metrics, /healthz, and /debug/pprof from the observability registry.
+// /metrics, the SLO-aware /healthz, and /debug/pprof from the observability
+// registry.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/enroll", s.instrument("enroll", s.handleEnroll))
@@ -109,21 +223,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/devices/{id}", s.instrument("device", s.handleDevice))
 	obsMux := obs.NewMux(s.opt.Registry)
 	mux.Handle("/metrics", obsMux)
-	mux.Handle("/healthz", obsMux)
+	mux.HandleFunc("/healthz", s.healthz)
 	mux.Handle("/debug/pprof/", obsMux)
 	return mux
 }
 
 // instrument wraps a handler with bounded-queue admission, the per-route
-// latency histogram and request counter, and an optional span.
+// latency histogram and request counter, spans (joining the caller's trace
+// when the request carries a valid traceparent header), and request logs.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		if !s.acquire(r.Context()) {
+		ctx := r.Context()
+		if sc, ok := obs.Extract(r.Header); ok {
+			ctx = obs.ContextWithRemote(ctx, sc)
+		}
+		ctx, span := s.tracer.Start(ctx, "authserve."+route)
+		r = r.WithContext(ctx)
+		_, qspan := s.tracer.Start(ctx, "authserve.queue")
+		admitted := s.acquire(ctx)
+		qspan.End()
+		if !admitted {
 			s.throttled.With(route).Inc()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "server saturated, retry later")
-			s.observe(route, http.StatusTooManyRequests, start)
+			span.SetAttr("code", strconv.Itoa(http.StatusTooManyRequests))
+			span.End()
+			s.finish(ctx, route, http.StatusTooManyRequests, start)
 			return
 		}
 		s.inflight.Add(1)
@@ -131,7 +257,6 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			s.inflight.Add(-1)
 			<-s.sem
 		}()
-		_, span := s.tracer.Start(r.Context(), "authserve."+route)
 		if s.testHookInflight != nil {
 			s.testHookInflight(route)
 		}
@@ -140,14 +265,23 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		h(sw, r)
 		span.SetAttr("code", strconv.Itoa(sw.code))
 		span.End()
-		s.observe(route, sw.code, start)
+		s.finish(ctx, route, sw.code, start)
 	}
 }
 
-func (s *Server) observe(route string, code int, start time.Time) {
+// finish records the request's metrics and its structured log line (Debug
+// normally, Warn for 5xx).
+func (s *Server) finish(ctx context.Context, route string, code int, start time.Time) {
 	c := strconv.Itoa(code)
-	s.reqDur.With(route, c).Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	s.reqDur.With(route, c).Observe(elapsed.Seconds())
 	s.reqTotal.With(route, c).Inc()
+	level := slog.LevelDebug
+	if code >= 500 {
+		level = slog.LevelWarn
+	}
+	s.log.LogAttrs(ctx, level, "request",
+		slog.String("route", route), slog.Int("code", code), slog.Duration("elapsed", elapsed))
 }
 
 // acquire admits the request into the inflight window, waiting in the
@@ -185,6 +319,18 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // --- handlers --------------------------------------------------------------
 
+// inStore wraps one store operation in a child span, so traces separate
+// queue wait, JSON handling, and sharded-store time.
+func (s *Server) inStore(ctx context.Context, op string, fn func() error) error {
+	_, span := s.tracer.Start(ctx, "store."+op)
+	err := fn()
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	return err
+}
+
 func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	var req EnrollRequest
 	if !decode(w, r, &req) {
@@ -204,7 +350,11 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	for i, p := range req.Pairs {
 		pairs[i] = core.Pair{Alpha: p.Alpha, Beta: p.Beta}
 	}
-	info, err := s.store.Enroll(req.ID, pairs, mode)
+	var info DeviceInfo
+	err := s.inStore(r.Context(), "enroll", func() (err error) {
+		info, err = s.store.Enroll(req.ID, pairs, mode)
+		return err
+	})
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -217,7 +367,12 @@ func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	nonce, ch, err := s.store.Challenge(req.ID, req.K)
+	var nonce string
+	var ch *auth.Challenge
+	err := s.inStore(r.Context(), "challenge", func() (err error) {
+		nonce, ch, err = s.store.Challenge(req.ID, req.K)
+		return err
+	})
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -235,7 +390,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ok, dist, limit, err := s.store.Verify(req.ID, req.ChallengeID, resp)
+	var ok bool
+	var dist, limit int
+	err = s.inStore(r.Context(), "verify", func() (err error) {
+		ok, dist, limit, err = s.store.Verify(req.ID, req.ChallengeID, resp)
+		return err
+	})
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -244,7 +404,11 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
-	info, err := s.store.Device(r.PathValue("id"))
+	var info DeviceInfo
+	err := s.inStore(r.Context(), "device", func() (err error) {
+		info, err = s.store.Device(r.PathValue("id"))
+		return err
+	})
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -292,12 +456,18 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 
 // --- serving & graceful drain ----------------------------------------------
 
+// httpServer builds the hardened http.Server Serve runs (split out so tests
+// can pin the timeout settings).
+func (s *Server) httpServer() *http.Server {
+	return obs.HardenServer(&http.Server{Handler: s.Handler()})
+}
+
 // Serve runs the HTTP server on ln until ctx is cancelled, then drains:
 // the listener stops accepting, in-flight requests get DrainTimeout to
 // finish, and the store is snapshotted a final time. It returns nil after
 // a clean drain.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	srv := &http.Server{Handler: s.Handler()}
+	srv := s.httpServer()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -305,6 +475,8 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
+	s.log.LogAttrs(ctx, slog.LevelInfo, "draining",
+		slog.Duration("budget", s.opt.DrainTimeout))
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.opt.DrainTimeout)
 	defer cancel()
 	drainErr := srv.Shutdown(drainCtx)
@@ -312,7 +484,12 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		drainErr = fmt.Errorf("authserve: drain: %w", drainErr)
 	}
 	saveErr := s.store.SaveAll()
-	return errors.Join(drainErr, saveErr)
+	if err := errors.Join(drainErr, saveErr); err != nil {
+		s.log.LogAttrs(ctx, slog.LevelError, "drain failed", slog.Any("error", err))
+		return err
+	}
+	s.log.LogAttrs(ctx, slog.LevelInfo, "drained")
+	return nil
 }
 
 // ListenAndServe binds addr and calls Serve. The bound address is reported
@@ -323,6 +500,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, started chan<-
 	if err != nil {
 		return fmt.Errorf("authserve: listen %s: %w", addr, err)
 	}
+	s.log.LogAttrs(ctx, slog.LevelInfo, "listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("devices", s.store.NumDevices()))
 	if started != nil {
 		started <- ln.Addr()
 		close(started)

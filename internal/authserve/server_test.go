@@ -4,16 +4,20 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"ropuf/internal/auth"
 	"ropuf/internal/core"
 	"ropuf/internal/fleet"
+	"ropuf/internal/obs"
+	"ropuf/internal/obs/logx"
 )
 
 // testFleet fabricates a deterministic device population and the matching
@@ -437,6 +441,252 @@ func TestGracefulDrain(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Serve did not return after drain")
+	}
+}
+
+// TestHealthzOKGolden pins the healthy /healthz contract: 200 with exactly
+// {"status":"ok"} (one line). The status string contains "ok" so probes
+// that grep the old plain-text body keep passing (DESIGN.md §9).
+func TestHealthzOKGolden(t *testing.T) {
+	_, ts := newTestServer(t, StoreOptions{}, ServerOptions{})
+	code, body := get(t, ts.Client(), ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if string(body) != "{\"status\":\"ok\"}\n" {
+		t.Fatalf("/healthz body = %q, want {\"status\":\"ok\"}", body)
+	}
+}
+
+// TestHealthzDegradeAndRecover is the SLO acceptance path: a 429 storm
+// against a saturated server flips /healthz to 503 with a machine-readable
+// error_budget_burn reason, and once the errors age out of the (short)
+// window /healthz recovers to 200 — without restarting anything.
+func TestHealthzDegradeAndRecover(t *testing.T) {
+	srv, ts := newTestServer(t, StoreOptions{}, ServerOptions{
+		MaxInflight: 1, MaxQueue: 1,
+		SLO:            obs.SLO{Objective: 0.99, Window: 300 * time.Millisecond},
+		MaxBurnRate:    10,
+		MinSLORequests: 5,
+	})
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 2)
+	srv.testHookInflight = func(string) {
+		entered <- struct{}{}
+		<-hold
+	}
+	c := ts.Client()
+
+	// Park one request inflight and one in the queue.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.Get(ts.URL + "/v1/devices/ghost")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	<-entered
+	time.Sleep(50 * time.Millisecond) // let the second request park in the queue
+
+	// Storm: with the queue full, every request bounces with 429 instantly.
+	for i := 0; i < 20; i++ {
+		resp, err := c.Get(ts.URL + "/v1/devices/ghost")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("storm request %d: %d, want 429", i, resp.StatusCode)
+		}
+	}
+
+	code, body := get(t, c, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz during storm = %d %s, want 503", code, body)
+	}
+	rep := mustUnmarshal[obs.HealthReport](t, body)
+	if rep.Status != "degraded" {
+		t.Fatalf("degraded status = %q", rep.Status)
+	}
+	reasonCodes := map[string]bool{}
+	for _, r := range rep.Reasons {
+		reasonCodes[r.Code] = true
+		if r.Detail == "" {
+			t.Fatalf("reason %s without detail", r.Code)
+		}
+	}
+	if !reasonCodes["error_budget_burn"] {
+		t.Fatalf("degraded reasons = %+v, want error_budget_burn", rep.Reasons)
+	}
+
+	// Release the parked requests and wait out the window: health recovers.
+	close(hold)
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body = get(t, c, ts.URL+"/healthz")
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/healthz never recovered: %d %s", code, body)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestTraceparentStitching is the cross-process acceptance path in
+// miniature: a request carrying a W3C traceparent header produces server
+// spans that join the caller's trace (same trace ID, server root parented
+// to the client span), with the store child under the route span, and the
+// request log line stamped with the same trace ID.
+func TestTraceparentStitching(t *testing.T) {
+	ring := obs.NewRingSink(64)
+	logBuf := &lockedBuffer{}
+	_, ts := newTestServer(t, StoreOptions{}, ServerOptions{
+		Tracer: obs.NewTracer(ring, obs.WithService("authserve")),
+		Logger: logx.New(logBuf, slog.LevelDebug),
+	})
+
+	const (
+		traceID      = "4bf92f3577b34da6a3ce929d0e0e4736"
+		clientSpanID = "00f067aa0ba902b7"
+	)
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/devices/ghost", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceparentHeader, "00-"+traceID+"-"+clientSpanID+"-01")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The span/log emission happens just after the handler writes the
+	// response, so wait for the spans to land rather than racing them.
+	byName := map[string]obs.SpanEvent{}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(byName) < 3 {
+		byName = map[string]obs.SpanEvent{}
+		for _, ev := range ring.Events() {
+			byName[ev.Name] = ev
+		}
+		if len(byName) < 3 {
+			if time.Now().After(deadline) {
+				t.Fatalf("spans never landed: %v", byName)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	root, ok := byName["authserve.device"]
+	if !ok {
+		t.Fatalf("no route span emitted: %v", byName)
+	}
+	if root.TraceID != traceID || root.ParentID != clientSpanID {
+		t.Fatalf("server root trace %q parent %q, want %q/%q",
+			root.TraceID, root.ParentID, traceID, clientSpanID)
+	}
+	if root.Service != "authserve" {
+		t.Fatalf("service = %q", root.Service)
+	}
+	if q := byName["authserve.queue"]; q.TraceID != traceID || q.ParentID != root.ID {
+		t.Fatalf("queue span %+v not a child of the route span", q)
+	}
+	if st := byName["store.device"]; st.TraceID != traceID || st.ParentID != root.ID {
+		t.Fatalf("store span %+v not a child of the route span", st)
+	}
+
+	// The request log line carries the same trace for log↔trace pivoting.
+	// It is emitted just after the route span ends, so poll for it too.
+	var logged map[string]any
+	for logged == nil {
+		for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+			if line == "" {
+				continue
+			}
+			var m map[string]any
+			if err := json.Unmarshal([]byte(line), &m); err != nil {
+				t.Fatalf("log line %q: %v", line, err)
+			}
+			if m["msg"] == "request" {
+				logged = m
+			}
+		}
+		if logged == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("no request log record in %q", logBuf.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if logged["trace_id"] != traceID {
+		t.Fatalf("log trace_id = %v, want %s", logged["trace_id"], traceID)
+	}
+	if logged["route"] != "device" || logged["code"] != float64(http.StatusNotFound) {
+		t.Fatalf("request record = %v", logged)
+	}
+
+	// Without a traceparent header the server roots a fresh trace.
+	resp2, err := ts.Client().Get(ts.URL + "/v1/devices/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	fresh := obs.SpanEvent{}
+	deadline = time.Now().Add(2 * time.Second)
+	for fresh.ID == "" {
+		for _, ev := range ring.Events() {
+			if ev.Name == "authserve.device" && ev.TraceID != traceID {
+				fresh = ev
+			}
+		}
+		if fresh.ID == "" {
+			if time.Now().After(deadline) {
+				t.Fatal("headerless request span never landed")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if fresh.ParentID != "" {
+		t.Fatalf("headerless request did not root a fresh trace: %+v", fresh)
+	}
+}
+
+// lockedBuffer is an io.Writer safe for concurrent use: the handler's log
+// emission can race the test's read when the response flushes first.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestHardenedServeTimeouts pins that the listener path applies the shared
+// obs.HardenServer settings (slowloris hardening).
+func TestHardenedServeTimeouts(t *testing.T) {
+	store, err := Open(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, ServerOptions{})
+	hs := srv.httpServer()
+	if hs.ReadHeaderTimeout != 5*time.Second || hs.ReadTimeout != 30*time.Second || hs.IdleTimeout != 2*time.Minute {
+		t.Fatalf("timeouts = %v/%v/%v", hs.ReadHeaderTimeout, hs.ReadTimeout, hs.IdleTimeout)
 	}
 }
 

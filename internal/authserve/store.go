@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"ropuf/internal/auth"
 	"ropuf/internal/bits"
@@ -89,6 +90,24 @@ type DeviceInfo struct {
 type Store struct {
 	opt    StoreOptions
 	shards []*shard
+	// snapshotFailures counts persistLocked errors; /healthz degrades when
+	// failures land inside its rolling window (the store keeps serving from
+	// memory, but durability is compromised).
+	snapshotFailures atomic.Int64
+}
+
+// SnapshotFailures returns the cumulative count of failed shard snapshot
+// writes since the store was opened.
+func (s *Store) SnapshotFailures() int64 { return s.snapshotFailures.Load() }
+
+// persist snapshots one shard (whose lock the caller holds), counting
+// failures for health reporting.
+func (s *Store) persist(sh *shard) error {
+	err := sh.persistLocked()
+	if err != nil {
+		s.snapshotFailures.Add(1)
+	}
+	return err
 }
 
 type shard struct {
@@ -209,7 +228,7 @@ func (s *Store) Enroll(id string, pairs []core.Pair, mode core.Mode) (DeviceInfo
 	if err != nil {
 		return DeviceInfo{}, err
 	}
-	if err := sh.persistLocked(); err != nil {
+	if err := s.persist(sh); err != nil {
 		// The enrollment is in memory but not durable; surface the failure
 		// so the client re-enrolls rather than trusting a lost record.
 		return DeviceInfo{}, err
@@ -234,7 +253,7 @@ func (s *Store) Challenge(id string, k int) (string, *auth.Challenge, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	if err := sh.persistLocked(); err != nil {
+	if err := s.persist(sh); err != nil {
 		// Pairs are consumed in memory but the consumption is not durable;
 		// withhold the challenge rather than risk re-issuing those pairs
 		// after a crash.
@@ -310,7 +329,7 @@ func (s *Store) SaveAll() error {
 	var errs []error
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		errs = append(errs, sh.persistLocked())
+		errs = append(errs, s.persist(sh))
 		sh.mu.Unlock()
 	}
 	return errors.Join(errs...)

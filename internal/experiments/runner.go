@@ -11,12 +11,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"ropuf/internal/dataset"
 	"ropuf/internal/obs"
+	"ropuf/internal/obs/logx"
 )
 
 // MetricExperimentSeconds is the per-experiment latency histogram a Runner
@@ -40,10 +42,13 @@ type Runner struct {
 
 	// Tracer, when non-nil, emits one span per executed experiment (and a
 	// parent span around RunAllParallel batches). Obs, when non-nil,
-	// receives the MetricExperimentSeconds latency histogram. Set both
-	// before the first Run.
+	// receives the MetricExperimentSeconds latency histogram. Logger, when
+	// non-nil, records each experiment's completion (Info) or failure
+	// (Error), trace-stamped when Tracer is also set. Set all three before
+	// the first Run.
 	Tracer *obs.Tracer
 	Obs    *obs.Registry
+	Logger *slog.Logger
 
 	mu      sync.Mutex
 	vt      *dataset.Dataset
@@ -150,20 +155,34 @@ func (r *Runner) runCtx(ctx context.Context, id string) (*Result, error) {
 		sort.Strings(known)
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
 	}
-	if r.Tracer == nil && r.Obs == nil {
+	if r.Tracer == nil && r.Obs == nil && r.Logger == nil {
 		return fn()
 	}
-	_, span := r.Tracer.Start(ctx, "experiment", obs.KV("experiment", id))
+	expCtx, span := r.Tracer.Start(ctx, "experiment", obs.KV("experiment", id))
 	start := time.Now()
 	res, err := fn()
+	elapsed := time.Since(start)
 	if h := r.histogram(); h != nil {
-		h.With(id).Observe(time.Since(start).Seconds())
+		h.With(id).Observe(elapsed.Seconds())
 	}
 	if err != nil {
 		span.SetAttr("error", err.Error())
+		r.logger().LogAttrs(expCtx, slog.LevelError, "experiment failed",
+			slog.String("experiment", id), slog.Duration("elapsed", elapsed), slog.Any("error", err))
+	} else {
+		r.logger().LogAttrs(expCtx, slog.LevelInfo, "experiment done",
+			slog.String("experiment", id), slog.Duration("elapsed", elapsed))
 	}
 	span.End()
 	return res, err
+}
+
+// logger returns the configured Logger or a no-op one.
+func (r *Runner) logger() *slog.Logger {
+	if r.Logger != nil {
+		return r.Logger
+	}
+	return logx.Nop()
 }
 
 // histogram lazily registers the per-experiment latency histogram; nil when

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"ropuf/internal/core"
 	"ropuf/internal/metrics"
 	"ropuf/internal/obs"
+	"ropuf/internal/obs/logx"
 )
 
 // Device is one fleet member's enrollment-time measurement: per-pair delay
@@ -64,6 +66,17 @@ type Options struct {
 	// Tracer, when non-nil, emits one span per batch stage and one child
 	// span per processed device. A nil tracer costs nothing.
 	Tracer *obs.Tracer
+	// Logger, when non-nil, receives a Warn record per failed device and an
+	// Info summary per batch stage, stamped with the stage span's trace ID
+	// when Tracer is also set.
+	Logger *slog.Logger
+}
+
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return logx.Nop()
 }
 
 func (o Options) workers() int {
@@ -147,18 +160,21 @@ func Enroll(ctx context.Context, devices []Device, opt Options) (*EnrollReport, 
 	span.SetAttr("enrolled", strconv.Itoa(report.Enrolled))
 	span.SetAttr("failed", strconv.Itoa(report.Failed))
 	span.End()
+	opt.logger().LogAttrs(ctx, slog.LevelInfo, "enroll batch done",
+		slog.Int("devices", len(devices)), slog.Int("enrolled", report.Enrolled),
+		slog.Int("failed", report.Failed), slog.Duration("elapsed", report.Elapsed))
 	return report, err
 }
 
-// timeDevice wraps one device's processing with a per-device span and a
-// latency observation. With no tracer and no counters configured the only
-// overhead is two nil checks.
+// timeDevice wraps one device's processing with a per-device span, a
+// latency observation, and a Warn log on failure. With no tracer, counters,
+// or logger configured the only overhead is three nil checks.
 func timeDevice(ctx context.Context, opt Options, stage, id string, fn func() error) {
-	if opt.Tracer == nil && opt.Counters == nil {
+	if opt.Tracer == nil && opt.Counters == nil && opt.Logger == nil {
 		_ = fn()
 		return
 	}
-	_, span := opt.Tracer.Start(ctx, "fleet."+stage+".device", obs.KV("device", id))
+	devCtx, span := opt.Tracer.Start(ctx, "fleet."+stage+".device", obs.KV("device", id))
 	start := time.Now()
 	err := fn()
 	if opt.Counters != nil {
@@ -166,6 +182,8 @@ func timeDevice(ctx context.Context, opt Options, stage, id string, fn func() er
 	}
 	if err != nil {
 		span.SetAttr("error", err.Error())
+		opt.logger().LogAttrs(devCtx, slog.LevelWarn, "device failed",
+			slog.String("stage", stage), slog.String("device", id), slog.Any("error", err))
 	}
 	span.End()
 }
@@ -271,6 +289,9 @@ func Evaluate(ctx context.Context, jobs []EvalJob, opt Options) (*EvalReport, er
 	span.SetAttr("evaluated", strconv.Itoa(report.Evaluated))
 	span.SetAttr("failed", strconv.Itoa(report.Failed))
 	span.End()
+	opt.logger().LogAttrs(ctx, slog.LevelInfo, "evaluate batch done",
+		slog.Int("jobs", len(jobs)), slog.Int("evaluated", report.Evaluated),
+		slog.Int("failed", report.Failed), slog.Duration("elapsed", report.Elapsed))
 	return report, err
 }
 

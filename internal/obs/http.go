@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -9,19 +10,76 @@ import (
 	"time"
 )
 
+// HealthReason is one machine-readable cause of degradation.
+type HealthReason struct {
+	// Code is a stable identifier (e.g. "error_budget_burn",
+	// "queue_saturated", "snapshot_failures").
+	Code string `json:"code"`
+	// Detail is a human-readable explanation.
+	Detail string `json:"detail"`
+	// Value carries the measurement behind the reason (burn rate, queue
+	// depth, failure count), when one exists.
+	Value float64 `json:"value,omitempty"`
+}
+
+// HealthReport is the JSON body a degradation-aware /healthz serves:
+// `{"status":"ok"}` with 200, or `{"status":"degraded","reasons":[...]}`
+// with 503. The status string deliberately contains "ok" so naive
+// `grep ok` liveness probes keep working against the JSON form.
+type HealthReport struct {
+	Status  string         `json:"status"`
+	Reasons []HealthReason `json:"reasons,omitempty"`
+}
+
+// HealthFunc reports the current degradation reasons; an empty (or nil)
+// slice means healthy.
+type HealthFunc func() []HealthReason
+
+// HealthHandler serves the HealthReport contract for the given checker:
+// 200 + {"status":"ok"} when it returns no reasons, 503 +
+// {"status":"degraded","reasons":[...]} otherwise. A nil checker is always
+// healthy.
+func HealthHandler(health HealthFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rep := HealthReport{Status: "ok"}
+		if health != nil {
+			if reasons := health(); len(reasons) > 0 {
+				rep = HealthReport{Status: "degraded", Reasons: reasons}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if rep.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(rep)
+	}
+}
+
 // NewMux builds the observability HTTP handler: /metrics serves reg in
-// Prometheus text format, /healthz answers "ok", and /debug/pprof/* exposes
-// the standard runtime profiles (CPU profile, heap, goroutines, ...).
+// Prometheus text format, /healthz answers the plain-text "ok" the batch
+// commands' consumers expect, and /debug/pprof/* exposes the standard
+// runtime profiles (CPU profile, heap, goroutines, ...).
 func NewMux(reg *Registry) *http.ServeMux {
+	return NewMuxHealth(reg, nil)
+}
+
+// NewMuxHealth is NewMux with a degradation-aware /healthz: with a non-nil
+// checker the endpoint serves the HealthReport JSON contract (200/503);
+// with nil it keeps the legacy plain-text "ok".
+func NewMuxHealth(reg *Registry, health HealthFunc) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WriteProm(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	if health != nil {
+		mux.HandleFunc("/healthz", HealthHandler(health))
+	} else {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+	}
 	// Register the pprof handlers explicitly rather than importing the
 	// package for its DefaultServeMux side effect, so the profiles are only
 	// reachable through this mux.
@@ -31,6 +89,19 @@ func NewMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// HardenServer sets the request-read timeouts every HTTP server in the
+// repo uses, bounding slowloris-style clients that trickle headers or
+// bodies: 5s to finish the header block, 30s for the whole request read
+// (generous for a 16 MiB enrollment on a slow link), 2min keep-alive idle.
+// WriteTimeout stays unset on purpose — /debug/pprof/profile streams for
+// caller-chosen durations. Returns srv for call-site chaining.
+func HardenServer(srv *http.Server) *http.Server {
+	srv.ReadHeaderTimeout = 5 * time.Second
+	srv.ReadTimeout = 30 * time.Second
+	srv.IdleTimeout = 2 * time.Minute
+	return srv
 }
 
 // Server is a background observability HTTP server.
@@ -47,7 +118,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}}
+	s := &Server{ln: ln, srv: HardenServer(&http.Server{Handler: NewMux(reg)})}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestMuxEndpoints(t *testing.T) {
@@ -65,6 +67,92 @@ func TestMuxEndpoints(t *testing.T) {
 	code, _, _ = get("/debug/pprof/profile?seconds=1")
 	if code != http.StatusOK {
 		t.Fatalf("/debug/pprof/profile = %d", code)
+	}
+}
+
+// TestHealthHandlerContract is the golden test for the degradation-aware
+// /healthz JSON (DESIGN.md §9): exact body for ok, status code and
+// machine-readable reasons for degraded, and recovery back to ok.
+func TestHealthHandlerContract(t *testing.T) {
+	var reasons []HealthReason
+	h := HealthHandler(func() []HealthReason { return reasons })
+
+	get := func() (int, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	code, body := get()
+	if code != http.StatusOK || body != "{\"status\":\"ok\"}\n" {
+		t.Fatalf("healthy = %d %q, want 200 {\"status\":\"ok\"}", code, body)
+	}
+
+	reasons = []HealthReason{{Code: "error_budget_burn", Detail: "burning", Value: 42}}
+	code, body = get()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded status = %d, want 503", code)
+	}
+	var rep HealthReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("degraded body %q: %v", body, err)
+	}
+	if rep.Status != "degraded" || len(rep.Reasons) != 1 ||
+		rep.Reasons[0].Code != "error_budget_burn" || rep.Reasons[0].Value != 42 {
+		t.Fatalf("degraded report = %+v", rep)
+	}
+	// The "ok" substring survives into the degraded JSON? No — degraded
+	// must NOT read as ok to a naive probe.
+	if strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("degraded body reads ok: %q", body)
+	}
+
+	reasons = nil
+	if code, _ := get(); code != http.StatusOK {
+		t.Fatalf("recovery = %d, want 200", code)
+	}
+
+	// Nil checker is always healthy (legacy NewMux path equivalence).
+	rec := httptest.NewRecorder()
+	HealthHandler(nil)(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("nil checker = %d", rec.Code)
+	}
+}
+
+func TestNewMuxHealthServesJSON(t *testing.T) {
+	reg := NewRegistry()
+	mux := NewMuxHealth(reg, func() []HealthReason {
+		return []HealthReason{{Code: "queue_saturated", Detail: "full"}}
+	})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+}
+
+// TestHardenServerTimeouts pins the slowloris hardening every HTTP server
+// in the repo shares.
+func TestHardenServerTimeouts(t *testing.T) {
+	srv := HardenServer(&http.Server{})
+	if srv.ReadHeaderTimeout != 5*time.Second {
+		t.Fatalf("ReadHeaderTimeout = %v", srv.ReadHeaderTimeout)
+	}
+	if srv.ReadTimeout != 30*time.Second {
+		t.Fatalf("ReadTimeout = %v", srv.ReadTimeout)
+	}
+	if srv.IdleTimeout != 2*time.Minute {
+		t.Fatalf("IdleTimeout = %v", srv.IdleTimeout)
+	}
+	// WriteTimeout must stay unset: /debug/pprof/profile streams for
+	// caller-chosen durations.
+	if srv.WriteTimeout != 0 {
+		t.Fatalf("WriteTimeout = %v, want 0", srv.WriteTimeout)
 	}
 }
 

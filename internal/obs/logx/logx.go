@@ -1,0 +1,197 @@
+// Package logx is the repo's structured logging layer: a log/slog handler
+// emitting one JSON object per line, with every record automatically
+// stamped with the trace and span IDs carried by the context (package obs).
+// A log line written while a span is open — or while handling a request
+// whose traceparent header was extracted — therefore joins the same
+// distributed trace its spans belong to, which is what lets operators pivot
+// from a log record to the full cross-process trace and back.
+//
+// Record schema (field order is fixed):
+//
+//	{"ts":"2026-01-02T15:04:05.999999999Z","level":"INFO","msg":"...",
+//	 "trace_id":"<32 hex>","span_id":"<16 hex>",<attrs...>}
+//
+// trace_id/span_id are present only when the context carries a span.
+// Attribute values render as JSON strings, numbers, or booleans;
+// time.Duration renders as its String() form ("4.9ms") and errors as their
+// message.
+package logx
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"sync"
+	"time"
+
+	"ropuf/internal/obs"
+)
+
+// Handler is the JSONL slog.Handler. Create one with NewHandler; the zero
+// value is not usable.
+type Handler struct {
+	mu     *sync.Mutex // shared across WithAttrs/WithGroup clones
+	w      io.Writer
+	level  slog.Leveler
+	attrs  []byte // preformatted ",\"key\":value" pairs from WithAttrs
+	prefix string // open group path ("a.b."), applied to subsequent keys
+}
+
+// NewHandler returns a handler writing JSON lines at or above level to w.
+func NewHandler(w io.Writer, level slog.Leveler) *Handler {
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	return &Handler{mu: &sync.Mutex{}, w: w, level: level}
+}
+
+// New returns a logger over NewHandler.
+func New(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(NewHandler(w, level))
+}
+
+// Nop returns a logger that discards everything, so instrumented code can
+// hold a non-nil *slog.Logger unconditionally.
+func Nop() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// ParseLevel parses a -log-level flag value ("debug", "info", "warn",
+// "error", case-insensitive, with slog's offset forms like "info+2").
+func ParseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("logx: level %q (want debug, info, warn, or error)", s)
+	}
+	return l, nil
+}
+
+// Enabled implements slog.Handler.
+func (h *Handler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.level.Level()
+}
+
+// Handle implements slog.Handler: it renders the record as one JSON line,
+// stamping trace_id/span_id from ctx when a span identity is present.
+func (h *Handler) Handle(ctx context.Context, r slog.Record) error {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":"`...)
+	t := r.Time
+	if t.IsZero() {
+		t = time.Now()
+	}
+	buf = t.UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":`...)
+	buf = appendJSONString(buf, r.Level.String())
+	buf = append(buf, `,"msg":`...)
+	buf = appendJSONString(buf, r.Message)
+	if sc, ok := obs.SpanContextOf(ctx); ok {
+		buf = append(buf, `,"trace_id":"`...)
+		buf = append(buf, sc.TraceID...)
+		buf = append(buf, `","span_id":"`...)
+		buf = append(buf, sc.SpanID...)
+		buf = append(buf, '"')
+	}
+	buf = append(buf, h.attrs...)
+	r.Attrs(func(a slog.Attr) bool {
+		buf = appendAttr(buf, h.prefix, a)
+		return true
+	})
+	buf = append(buf, "}\n"...)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := h.w.Write(buf)
+	return err
+}
+
+// WithAttrs implements slog.Handler by preformatting the attrs once.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h2 := *h
+	h2.attrs = append(append([]byte(nil), h.attrs...), formatAttrs(h.prefix, attrs)...)
+	return &h2
+}
+
+// WithGroup implements slog.Handler by dot-prefixing subsequent keys.
+func (h *Handler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	h2 := *h
+	h2.prefix = h.prefix + name + "."
+	return &h2
+}
+
+func formatAttrs(prefix string, attrs []slog.Attr) []byte {
+	var buf []byte
+	for _, a := range attrs {
+		buf = appendAttr(buf, prefix, a)
+	}
+	return buf
+}
+
+// appendAttr renders one attr as `,"key":value`. Groups flatten to dotted
+// keys; empty attrs and empty groups are elided per the slog contract.
+func appendAttr(buf []byte, prefix string, a slog.Attr) []byte {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		group := v.Group()
+		if len(group) == 0 {
+			return buf
+		}
+		p := prefix
+		if a.Key != "" {
+			p += a.Key + "."
+		}
+		for _, ga := range group {
+			buf = appendAttr(buf, p, ga)
+		}
+		return buf
+	}
+	if a.Key == "" {
+		return buf
+	}
+	buf = append(buf, ',')
+	buf = appendJSONString(buf, prefix+a.Key)
+	buf = append(buf, ':')
+	switch v.Kind() {
+	case slog.KindString:
+		buf = appendJSONString(buf, v.String())
+	case slog.KindInt64:
+		buf = strconv.AppendInt(buf, v.Int64(), 10)
+	case slog.KindUint64:
+		buf = strconv.AppendUint(buf, v.Uint64(), 10)
+	case slog.KindBool:
+		buf = strconv.AppendBool(buf, v.Bool())
+	case slog.KindFloat64:
+		f := v.Float64()
+		if data, err := json.Marshal(f); err == nil {
+			buf = append(buf, data...)
+		} else { // NaN/Inf: not representable as a JSON number
+			buf = appendJSONString(buf, strconv.FormatFloat(f, 'g', -1, 64))
+		}
+	case slog.KindDuration:
+		buf = appendJSONString(buf, v.Duration().String())
+	case slog.KindTime:
+		buf = appendJSONString(buf, v.Time().UTC().Format(time.RFC3339Nano))
+	default: // KindAny
+		switch x := v.Any().(type) {
+		case error:
+			buf = appendJSONString(buf, x.Error())
+		default:
+			if data, err := json.Marshal(x); err == nil {
+				buf = append(buf, data...)
+			} else {
+				buf = appendJSONString(buf, fmt.Sprint(x))
+			}
+		}
+	}
+	return buf
+}
+
+// appendJSONString appends s as a JSON string literal. json.Marshal of a
+// string cannot fail and produces valid escaping for control characters.
+func appendJSONString(buf []byte, s string) []byte {
+	data, _ := json.Marshal(s)
+	return append(buf, data...)
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsTTL bounds how often runtime.ReadMemStats runs: scrapes within
+// the TTL share one reading, since ReadMemStats stops the world briefly and
+// one registry exports several fields of the same struct.
+const memStatsTTL = time.Second
+
+// RegisterRuntimeMetrics registers process runtime health collectors on
+// reg: goroutine count, heap size and object count, cumulative allocation,
+// GC cycles and total GC pause time. All are read-on-scrape; registering
+// twice on the same registry is a no-op (the first collectors win).
+func RegisterRuntimeMetrics(reg *Registry) {
+	var mu sync.Mutex
+	var last time.Time
+	var ms runtime.MemStats
+	// sample returns a field of a memstats reading at most memStatsTTL old,
+	// copying the value while the lock is held.
+	sample := func(field func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			if time.Since(last) > memStatsTTL {
+				runtime.ReadMemStats(&ms)
+				last = time.Now()
+			}
+			return field(&ms)
+		}
+	}
+	reg.NewGaugeFunc("ropuf_runtime_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.NewGaugeFunc("ropuf_runtime_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		sample(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	reg.NewGaugeFunc("ropuf_runtime_heap_objects",
+		"Number of allocated heap objects.",
+		sample(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	reg.NewCounterFunc("ropuf_runtime_alloc_bytes_total",
+		"Cumulative bytes allocated for heap objects.",
+		sample(func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) }))
+	reg.NewCounterFunc("ropuf_runtime_gc_cycles_total",
+		"Completed GC cycles.",
+		sample(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	reg.NewCounterFunc("ropuf_runtime_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		sample(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	RegisterRuntimeMetrics(reg) // idempotent re-registration must not panic
+
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, name := range []string{
+		"ropuf_runtime_goroutines",
+		"ropuf_runtime_heap_alloc_bytes",
+		"ropuf_runtime_heap_objects",
+		"ropuf_runtime_alloc_bytes_total",
+		"ropuf_runtime_gc_cycles_total",
+		"ropuf_runtime_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(text, name+" ") {
+			t.Errorf("scrape missing %s:\n%s", name, text)
+		}
+	}
+	// A live process always has at least one goroutine and a non-empty heap.
+	if strings.Contains(text, "ropuf_runtime_goroutines 0\n") {
+		t.Error("goroutine gauge reads 0")
+	}
+	if strings.Contains(text, "ropuf_runtime_heap_alloc_bytes 0\n") {
+		t.Error("heap gauge reads 0")
+	}
+}

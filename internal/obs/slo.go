@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLO declares an availability objective over a rolling window: at most
+// (1 - Objective) of the requests observed inside Window may be errors.
+type SLO struct {
+	// Objective is the target success ratio, strictly between 0 and 1
+	// (0.99 = at most 1% of requests may fail).
+	Objective float64
+	// Window is the rolling window the error budget is measured over.
+	Window time.Duration
+}
+
+// BurnTracker measures how fast an error budget is burning. It is fed by a
+// source function returning cumulative (total, errors) request counts —
+// typically sums over an existing metric family — and samples that source
+// on every Report call, so it needs no background goroutine: polling
+// /healthz is what builds the window.
+type BurnTracker struct {
+	slo    SLO
+	source func() (total, errors float64)
+	// now is swappable for tests; nil means time.Now.
+	now func() time.Time
+
+	mu      sync.Mutex
+	samples []burnSample // time-ordered; samples[0] is the window baseline
+}
+
+type burnSample struct {
+	t             time.Time
+	total, errors float64
+}
+
+// BurnReport is one rolling-window reading.
+type BurnReport struct {
+	// Window is the configured rolling window; the actual span covered is
+	// at most this (less until the tracker has been alive that long).
+	Window time.Duration
+	// Total and Errors count the requests and errors observed within the
+	// window (deltas of the cumulative source).
+	Total, Errors float64
+	// ErrorRatio is Errors/Total, 0 when the window saw no traffic.
+	ErrorRatio float64
+	// BurnRate is ErrorRatio divided by the budget (1 - Objective): 1.0
+	// means errors arrive exactly as fast as the budget allows, N means
+	// the window's budget is being consumed N times too fast.
+	BurnRate float64
+}
+
+// NewBurnTracker starts a tracker with a baseline sample taken immediately,
+// so the very first Report already covers traffic since construction.
+func NewBurnTracker(slo SLO, source func() (total, errors float64)) *BurnTracker {
+	if slo.Objective <= 0 || slo.Objective >= 1 {
+		panic(fmt.Sprintf("obs: SLO objective %g outside (0, 1)", slo.Objective))
+	}
+	if slo.Window <= 0 {
+		panic("obs: SLO with non-positive window")
+	}
+	if source == nil {
+		panic("obs: NewBurnTracker with nil source")
+	}
+	b := &BurnTracker{slo: slo, source: source}
+	total, errors := source()
+	b.samples = append(b.samples, burnSample{t: b.clock(), total: total, errors: errors})
+	return b
+}
+
+func (b *BurnTracker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// Report samples the source now and returns the window reading. Samples
+// older than the window are pruned, except that the most recent
+// out-of-window sample is kept as the baseline so the delta always covers
+// the full window. Back-to-back calls closer than Window/64 coalesce into
+// one sample, bounding memory under aggressive health polling.
+func (b *BurnTracker) Report() BurnReport {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock()
+	total, errors := b.source()
+	s := burnSample{t: now, total: total, errors: errors}
+	if n := len(b.samples); n >= 2 && now.Sub(b.samples[n-2].t) < b.slo.Window/64 {
+		b.samples[n-1] = s
+	} else {
+		b.samples = append(b.samples, s)
+	}
+	// Advance the baseline: drop samples as long as the next one is still
+	// at or beyond the window edge.
+	cutoff := now.Add(-b.slo.Window)
+	i := 0
+	for i+1 < len(b.samples) && !b.samples[i+1].t.After(cutoff) {
+		i++
+	}
+	b.samples = b.samples[i:]
+
+	base := b.samples[0]
+	rep := BurnReport{
+		Window: b.slo.Window,
+		Total:  total - base.total,
+		Errors: errors - base.errors,
+	}
+	if rep.Total > 0 {
+		rep.ErrorRatio = rep.Errors / rep.Total
+	}
+	rep.BurnRate = rep.ErrorRatio / (1 - b.slo.Objective)
+	return rep
+}

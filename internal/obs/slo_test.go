@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeBurn builds a tracker over a mutable counter pair with a fake clock.
+type fakeBurn struct {
+	tracker       *BurnTracker
+	now           time.Time
+	total, errors float64
+}
+
+func newFakeBurn(t *testing.T, slo SLO) *fakeBurn {
+	t.Helper()
+	f := &fakeBurn{now: time.Unix(1000, 0)}
+	f.tracker = NewBurnTracker(slo, func() (float64, float64) { return f.total, f.errors })
+	f.tracker.now = func() time.Time { return f.now }
+	// The constructor's baseline sample used the real clock; rewrite it so
+	// the whole test runs on the fake one.
+	f.tracker.samples[0].t = f.now
+	return f
+}
+
+func TestBurnTrackerRates(t *testing.T) {
+	f := newFakeBurn(t, SLO{Objective: 0.99, Window: time.Minute})
+
+	// No traffic: everything zero.
+	rep := f.tracker.Report()
+	if rep.Total != 0 || rep.BurnRate != 0 {
+		t.Fatalf("idle report = %+v", rep)
+	}
+
+	// 100 requests, 1 error → 1% errors = exactly the budget → burn rate 1.
+	f.now = f.now.Add(10 * time.Second)
+	f.total, f.errors = 100, 1
+	rep = f.tracker.Report()
+	if rep.Total != 100 || rep.Errors != 1 {
+		t.Fatalf("window deltas = %+v", rep)
+	}
+	if rep.BurnRate < 0.999 || rep.BurnRate > 1.001 {
+		t.Fatalf("burn rate = %g, want 1.0", rep.BurnRate)
+	}
+
+	// 100 more requests, 50 more errors → 50% of the last batch failing;
+	// cumulative window ratio 51/200 → burn 25.5.
+	f.now = f.now.Add(10 * time.Second)
+	f.total, f.errors = 200, 51
+	rep = f.tracker.Report()
+	if want := (51.0 / 200.0) / 0.01; rep.BurnRate < want-0.01 || rep.BurnRate > want+0.01 {
+		t.Fatalf("burn rate = %g, want %g", rep.BurnRate, want)
+	}
+}
+
+// TestBurnTrackerWindowExpiry pins the recovery path: once the errors age
+// out of the window, the burn rate returns to zero even though the
+// cumulative counters never go down.
+func TestBurnTrackerWindowExpiry(t *testing.T) {
+	f := newFakeBurn(t, SLO{Objective: 0.99, Window: time.Minute})
+
+	f.now = f.now.Add(5 * time.Second)
+	f.total, f.errors = 100, 100 // total outage
+	rep := f.tracker.Report()
+	if rep.BurnRate < 99.9 || rep.BurnRate > 100.1 {
+		t.Fatalf("outage burn rate = %g, want ~100", rep.BurnRate)
+	}
+
+	// 2 minutes later with no new traffic: the outage is out of the window.
+	f.now = f.now.Add(2 * time.Minute)
+	rep = f.tracker.Report()
+	if rep.Total != 0 || rep.BurnRate != 0 {
+		t.Fatalf("post-window report = %+v, want all zero", rep)
+	}
+
+	// Healthy traffic after recovery keeps the rate at zero.
+	f.now = f.now.Add(time.Second)
+	f.total = 200
+	rep = f.tracker.Report()
+	if rep.Total != 100 || rep.Errors != 0 || rep.BurnRate != 0 {
+		t.Fatalf("healthy report = %+v", rep)
+	}
+}
+
+// TestBurnTrackerCoalescing bounds memory under aggressive polling: calls
+// closer together than Window/64 replace the previous sample.
+func TestBurnTrackerCoalescing(t *testing.T) {
+	f := newFakeBurn(t, SLO{Objective: 0.9, Window: time.Minute})
+	for i := 0; i < 1000; i++ {
+		f.now = f.now.Add(time.Millisecond) // far below 60s/64
+		f.total++
+		f.tracker.Report()
+	}
+	if n := len(f.tracker.samples); n > 3 {
+		t.Fatalf("%d samples retained under aggressive polling, want <= 3", n)
+	}
+	// The counts survive coalescing.
+	if rep := f.tracker.Report(); rep.Total != 1000 {
+		t.Fatalf("total after coalescing = %g, want 1000", rep.Total)
+	}
+}
+
+func TestNewBurnTrackerValidation(t *testing.T) {
+	src := func() (float64, float64) { return 0, 0 }
+	for name, fn := range map[string]func(){
+		"objective 0":  func() { NewBurnTracker(SLO{Objective: 0, Window: time.Minute}, src) },
+		"objective 1":  func() { NewBurnTracker(SLO{Objective: 1, Window: time.Minute}, src) },
+		"zero window":  func() { NewBurnTracker(SLO{Objective: 0.99}, src) },
+		"nil source":   func() { NewBurnTracker(SLO{Objective: 0.99, Window: time.Minute}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -3,7 +3,9 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	mrand "math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,11 +20,70 @@ type Attr struct {
 // KV builds an Attr.
 func KV(key, value string) Attr { return Attr{Key: key, Value: value} }
 
-// SpanEvent is the record a finished span emits to its sink. IDs are
-// sequential per tracer (1-based); ParentID is 0 for root spans.
+// SpanContext identifies one span inside one distributed trace. Both IDs
+// are lowercase hex: 32 characters for the trace, 16 for the span, matching
+// the W3C Trace Context encoding so the pair can travel in a `traceparent`
+// header unchanged (see propagate.go).
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether both IDs are well-formed and non-zero.
+func (sc SpanContext) Valid() bool {
+	return isHexID(sc.TraceID, 32) && isHexID(sc.SpanID, 16)
+}
+
+// isHexID reports whether s is exactly n lowercase hex digits and not all
+// zeros (the W3C invalid sentinel).
+func isHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	nonzero := false
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			nonzero = true
+		}
+	}
+	return nonzero
+}
+
+// newTraceID mints a random 128-bit trace ID. math/rand/v2's global
+// generator is seeded per process and safe for concurrent use, so IDs from
+// independent processes do not collide in practice — which is what lets
+// `ropuf tracestat` stitch JSONL files from different processes.
+func newTraceID() string {
+	for {
+		hi, lo := mrand.Uint64(), mrand.Uint64()
+		if hi|lo != 0 {
+			return fmt.Sprintf("%016x%016x", hi, lo)
+		}
+	}
+}
+
+// newSpanID mints a random non-zero 64-bit span ID.
+func newSpanID() string {
+	for {
+		if v := mrand.Uint64(); v != 0 {
+			return fmt.Sprintf("%016x", v)
+		}
+	}
+}
+
+// SpanEvent is the record a finished span emits to its sink, and the JSONL
+// wire format `-trace-out` files carry. ParentID is empty for root spans;
+// a non-empty ParentID may resolve to a span in another process's file
+// when the trace crossed a `traceparent` hop.
 type SpanEvent struct {
-	ID       uint64            `json:"id"`
-	ParentID uint64            `json:"parent_id,omitempty"`
+	TraceID  string            `json:"trace_id"`
+	ID       string            `json:"span_id"`
+	ParentID string            `json:"parent_span_id,omitempty"`
+	Service  string            `json:"service,omitempty"`
 	Name     string            `json:"name"`
 	Attrs    map[string]string `json:"attrs,omitempty"`
 	Start    time.Time         `json:"start"`
@@ -43,18 +104,31 @@ type SpanSink interface {
 // *Tracer is a valid disabled tracer: Start returns the context unchanged
 // and a nil span whose methods no-op, so instrumented code needs no guards.
 type Tracer struct {
-	sink   SpanSink
-	nextID atomic.Uint64
+	sink    SpanSink
+	service string
 	// now is swappable for tests; nil means time.Now.
 	now func() time.Time
 }
 
+// TracerOption configures NewTracer.
+type TracerOption func(*Tracer)
+
+// WithService stamps every emitted span with the given service name, so
+// multi-process trace files identify which process each span ran in.
+func WithService(name string) TracerOption {
+	return func(t *Tracer) { t.service = name }
+}
+
 // NewTracer returns a tracer emitting to sink.
-func NewTracer(sink SpanSink) *Tracer {
+func NewTracer(sink SpanSink, opts ...TracerOption) *Tracer {
 	if sink == nil {
 		panic("obs: NewTracer with nil sink")
 	}
-	return &Tracer{sink: sink}
+	t := &Tracer{sink: sink}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
 }
 
 func (t *Tracer) clock() time.Time {
@@ -70,8 +144,9 @@ func (t *Tracer) clock() time.Time {
 // used: each worker starts and ends its own.
 type Span struct {
 	tracer   *Tracer
-	id       uint64
-	parentID uint64
+	traceID  string
+	id       string
+	parentID string
 	name     string
 	attrs    []Attr
 	start    time.Time
@@ -79,26 +154,66 @@ type Span struct {
 }
 
 type spanCtxKey struct{}
+type remoteCtxKey struct{}
 
-// Start begins a span named name. The parent, if any, is taken from ctx;
-// the returned context carries the new span so nested Start calls chain.
-// Ending a parent before its children is legal — each span emits
-// independently at its own End, keeping its ParentID.
+// Start begins a span named name. The parent is resolved in priority
+// order: a live span already in ctx, then a remote SpanContext placed by
+// ContextWithRemote (an extracted `traceparent` hop), else the span roots
+// a fresh trace. The returned context carries the new span so nested Start
+// calls chain. Ending a parent before its children is legal — each span
+// emits independently at its own End, keeping its ParentID.
 func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
 	}
 	s := &Span{
 		tracer: t,
-		id:     t.nextID.Add(1),
+		id:     newSpanID(),
 		name:   name,
 		attrs:  attrs,
 		start:  t.clock(),
 	}
 	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
-		s.parentID = parent.id
+		s.traceID, s.parentID = parent.traceID, parent.id
+	} else if rc, ok := ctx.Value(remoteCtxKey{}).(SpanContext); ok && rc.Valid() {
+		s.traceID, s.parentID = rc.TraceID, rc.SpanID
+	} else {
+		s.traceID = newTraceID()
 	}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// Context returns the span's trace/span ID pair. The zero SpanContext is
+// returned for a nil span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.id}
+}
+
+// ContextWithRemote marks ctx as continuing the given remote trace: the
+// next root span started under it adopts sc's trace ID and parents itself
+// to sc's span. An invalid sc leaves ctx unchanged, so a malformed
+// `traceparent` header falls back to a fresh root trace.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteCtxKey{}, sc)
+}
+
+// SpanContextOf reports the trace/span identity carried by ctx: the live
+// span if one is open, else a remote context from ContextWithRemote. Used
+// by header injection (propagate.go) and log stamping (logx).
+func SpanContextOf(ctx context.Context) (SpanContext, bool) {
+	if s, ok := ctx.Value(spanCtxKey{}).(*Span); ok && s != nil {
+		return s.Context(), true
+	}
+	if rc, ok := ctx.Value(remoteCtxKey{}).(SpanContext); ok && rc.Valid() {
+		return rc, true
+	}
+	return SpanContext{}, false
 }
 
 // SetAttr adds an annotation. No-op on a nil span.
@@ -115,8 +230,10 @@ func (s *Span) End() {
 		return
 	}
 	ev := SpanEvent{
+		TraceID:    s.traceID,
 		ID:         s.id,
 		ParentID:   s.parentID,
+		Service:    s.tracer.service,
 		Name:       s.name,
 		Start:      s.start,
 		DurationNS: int64(s.tracer.clock().Sub(s.start)),

@@ -46,17 +46,23 @@ func TestSpanNesting(t *testing.T) {
 		}
 	}
 	rootEv := byName["batch"]
-	if rootEv.ParentID != 0 {
-		t.Fatalf("root parent = %d, want 0", rootEv.ParentID)
+	if rootEv.ParentID != "" {
+		t.Fatalf("root parent = %q, want empty", rootEv.ParentID)
 	}
 	if byName["d0"].ParentID != rootEv.ID || byName["d1"].ParentID != rootEv.ID {
 		t.Fatalf("device spans not parented to root: %+v", sink.events)
 	}
 	if byName["select"].ParentID != byName["d0"].ID {
-		t.Fatalf("grandchild parent = %d, want %d", byName["select"].ParentID, byName["d0"].ID)
+		t.Fatalf("grandchild parent = %q, want %q", byName["select"].ParentID, byName["d0"].ID)
 	}
 	if rootEv.Attrs["devices"] != "2" {
 		t.Fatalf("root attrs = %v", rootEv.Attrs)
+	}
+	// Every span of the tree shares the root's trace ID.
+	for name, ev := range byName {
+		if ev.TraceID != rootEv.TraceID {
+			t.Fatalf("span %s trace = %q, want %q", name, ev.TraceID, rootEv.TraceID)
+		}
 	}
 }
 
@@ -82,7 +88,7 @@ func TestSpanOutOfOrderEnds(t *testing.T) {
 	}
 	for _, ev := range sink.events[1:] {
 		if ev.ParentID != sink.events[0].ID {
-			t.Fatalf("span %s parent = %d, want %d", ev.Name, ev.ParentID, sink.events[0].ID)
+			t.Fatalf("span %s parent = %q, want %q", ev.Name, ev.ParentID, sink.events[0].ID)
 		}
 	}
 }
@@ -185,11 +191,75 @@ func TestTracerConcurrentSpans(t *testing.T) {
 	if len(events) != 801 {
 		t.Fatalf("%d events, want 801", len(events))
 	}
-	seen := map[uint64]bool{}
+	seen := map[string]bool{}
 	for _, ev := range events {
 		if seen[ev.ID] {
-			t.Fatalf("duplicate span ID %d", ev.ID)
+			t.Fatalf("duplicate span ID %s", ev.ID)
 		}
 		seen[ev.ID] = true
 	}
+}
+
+// TestRemoteContextAdoption covers the cross-process join: a span started
+// under ContextWithRemote continues the remote trace and parents itself to
+// the remote span, while an invalid remote context is ignored.
+func TestRemoteContextAdoption(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracer(sink)
+	remote := SpanContext{TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", SpanID: "00f067aa0ba902b7"}
+	ctx := ContextWithRemote(context.Background(), remote)
+	_, span := tr.Start(ctx, "server")
+	span.End()
+	if ev := sink.events[0]; ev.TraceID != remote.TraceID || ev.ParentID != remote.SpanID {
+		t.Fatalf("remote not adopted: trace %q parent %q, want %q/%q",
+			ev.TraceID, ev.ParentID, remote.TraceID, remote.SpanID)
+	}
+
+	// A live local span takes priority over the remote context.
+	ctx2, parent := tr.Start(ctx, "outer")
+	_, child := tr.Start(ctx2, "inner")
+	child.End()
+	parent.End()
+	if ev := sink.events[1]; ev.ParentID != parent.Context().SpanID {
+		t.Fatalf("live span lost to remote context: parent %q, want %q", ev.ParentID, parent.Context().SpanID)
+	}
+
+	// Invalid remote context → fresh root.
+	bad := ContextWithRemote(context.Background(), SpanContext{TraceID: "nope", SpanID: "nope"})
+	_, orphan := tr.Start(bad, "fresh")
+	orphan.End()
+	ev := sink.events[len(sink.events)-1]
+	if ev.ParentID != "" || !isHexID(ev.TraceID, 32) {
+		t.Fatalf("invalid remote should yield a fresh root, got %+v", ev)
+	}
+}
+
+// TestWithService stamps every emitted span with the tracer's service name.
+func TestWithService(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracer(sink, WithService("authserve"))
+	_, span := tr.Start(context.Background(), "op")
+	span.End()
+	if sink.events[0].Service != "authserve" {
+		t.Fatalf("service = %q, want authserve", sink.events[0].Service)
+	}
+}
+
+// TestSpanContextOf covers the identity-resolution order used by header
+// injection and log stamping: live span, then remote context, then nothing.
+func TestSpanContextOf(t *testing.T) {
+	if _, ok := SpanContextOf(context.Background()); ok {
+		t.Fatal("empty context claimed a span identity")
+	}
+	remote := SpanContext{TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", SpanID: "00f067aa0ba902b7"}
+	rctx := ContextWithRemote(context.Background(), remote)
+	if sc, ok := SpanContextOf(rctx); !ok || sc != remote {
+		t.Fatalf("remote identity = %+v/%v, want %+v", sc, ok, remote)
+	}
+	tr := NewTracer(&collectSink{})
+	sctx, span := tr.Start(rctx, "op")
+	if sc, ok := SpanContextOf(sctx); !ok || sc != span.Context() {
+		t.Fatalf("live identity = %+v/%v, want %+v", sc, ok, span.Context())
+	}
+	span.End()
 }
