@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-all fleet-bench fuzz serve-smoke
+.PHONY: all build test verify bench bench-all bench-smoke fleet-bench fuzz serve-smoke
 
 all: build test
 
@@ -27,14 +27,25 @@ verify:
 	$(GO) test -race ./...
 
 # Perf trajectory: run the fleet enrollment/evaluation benchmarks with
-# -benchmem and record name -> ns/op, B/op, allocs/op in BENCH_fleet.json
+# -benchmem and record name -> ns/op, B/op, allocs/op in BENCH_fleet.json,
+# then the measurement-engine benchmarks (incremental vs naive leave-one-out,
+# env-factor cache, whole-ring evaluation) into BENCH_measure.json
 # (cmd/benchjson echoes the raw output so CI logs keep the numbers).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkFleet(Enroll|Evaluate)' -benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson -o BENCH_fleet.json
+	$(GO) test -run xxx -bench 'BenchmarkDdiffs(Naive|Fast)|BenchmarkPairDdiffs|BenchmarkEnvFactor|BenchmarkHalfPeriod' \
+		-benchmem -benchtime 20x ./internal/measure ./internal/silicon ./internal/circuit \
+		| $(GO) run ./cmd/benchjson -o BENCH_measure.json
 
 # Every benchmark in the tree, one iteration each (smoke, not measurement).
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Race-checked single-iteration pass over every benchmark in the tree. This
+# is a PR gate, not a measurement: it drives the benchmark-only code paths
+# (scratch reuse, cached env tables, worker pools) under the race detector.
+bench-smoke:
+	$(GO) test -race -run xxx -bench . -benchtime 1x ./...
 
 # Serial-vs-parallel fleet enrollment comparison.
 fleet-bench:

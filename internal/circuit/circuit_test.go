@@ -268,3 +268,104 @@ func TestBuilderDistinctDevices(t *testing.T) {
 		}
 	}
 }
+
+func TestHalfPeriodNaiveBitIdenticalToCached(t *testing.T) {
+	envs := []silicon.Env{silicon.Nominal, {V: 1.08, T: 45}, {V: 1.32, T: -20}}
+	for _, stages := range []int{1, 3, 8, 20} {
+		r := testRing(t, stages, uint64(40+stages))
+		rng := rngx.New(uint64(stages))
+		for trial := 0; trial < 20; trial++ {
+			cfg := NewConfig(stages)
+			for i := range cfg {
+				cfg[i] = rng.Bool()
+			}
+			for _, env := range envs {
+				cached, err := r.HalfPeriodPS(cfg, env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				naive, err := r.HalfPeriodNaivePS(cfg, env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cached != naive {
+					t.Fatalf("stages=%d cfg=%s env=%+v: cached %x, naive %x",
+						stages, cfg, env, math.Float64bits(cached), math.Float64bits(naive))
+				}
+			}
+		}
+	}
+}
+
+func TestStageDelaysPSMatchesPerStageAccessors(t *testing.T) {
+	envs := []silicon.Env{silicon.Nominal, {V: 0.96, T: 85}}
+	for _, stages := range []int{1, 5, 17} {
+		r := testRing(t, stages, uint64(60+stages))
+		sel1 := make([]float64, stages)
+		sel0 := make([]float64, stages)
+		for _, env := range envs {
+			enable, err := r.StageDelaysPS(env, sel1, sel0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := r.Die.DelayAtPS(r.Enable, env); enable != want {
+				t.Fatalf("enable delay %g, want %g", enable, want)
+			}
+			for i := range r.Units {
+				if want := r.Units[i].DelayPS(true, env); sel1[i] != want {
+					t.Fatalf("stage %d sel1 %x, want %x", i, math.Float64bits(sel1[i]), math.Float64bits(want))
+				}
+				if want := r.Units[i].DelayPS(false, env); sel0[i] != want {
+					t.Fatalf("stage %d sel0 %x, want %x", i, math.Float64bits(sel0[i]), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+func TestStageDelaysPSBufferLengthError(t *testing.T) {
+	r := testRing(t, 4, 70)
+	if _, err := r.StageDelaysPS(silicon.Nominal, make([]float64, 3), make([]float64, 4)); err == nil {
+		t.Fatal("short sel1 buffer accepted")
+	}
+	if _, err := r.StageDelaysPS(silicon.Nominal, make([]float64, 4), make([]float64, 5)); err == nil {
+		t.Fatal("long sel0 buffer accepted")
+	}
+}
+
+func BenchmarkHalfPeriodCached(b *testing.B) {
+	r := benchHalfPeriodRing(b)
+	cfg := AllSelected(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.HalfPeriodPS(cfg, silicon.Nominal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHalfPeriodNaive(b *testing.B) {
+	r := benchHalfPeriodRing(b)
+	cfg := AllSelected(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.HalfPeriodNaivePS(cfg, silicon.Nominal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchHalfPeriodRing(b *testing.B) *Ring {
+	b.Helper()
+	die, err := silicon.NewDie(silicon.DefaultParams(), 14, 14, rngx.New(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewBuilder(die).BuildRing(64, DefaultMuxScale, DefaultWireScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}

@@ -33,11 +33,16 @@ func (m Mode) String() string {
 
 // Select dispatches to SelectCase1 or SelectCase2.
 func Select(mode Mode, alpha, beta []float64, opt Options) (Selection, error) {
+	return selectWith(mode, alpha, beta, opt, new(Scratch))
+}
+
+// selectWith is Select drawing buffers from s.
+func selectWith(mode Mode, alpha, beta []float64, opt Options, s *Scratch) (Selection, error) {
 	switch mode {
 	case Case1:
-		return SelectCase1(alpha, beta, opt)
+		return selectCase1(alpha, beta, opt, s)
 	case Case2:
-		return SelectCase2(alpha, beta, opt)
+		return selectCase2(alpha, beta, opt, s)
 	default:
 		return Selection{}, fmt.Errorf("core: unknown mode %d", int(mode))
 	}
@@ -68,6 +73,16 @@ type Enrollment struct {
 // (margins are non-negative). Degenerate pairs (ErrDegenerate) are masked
 // rather than failing the whole device.
 func Enroll(pairs []Pair, mode Mode, threshold float64, opt Options) (*Enrollment, error) {
+	return EnrollWith(new(Scratch), pairs, mode, threshold, opt)
+}
+
+// EnrollWith is Enroll drawing sort scratch and configuration storage from
+// sc, so a caller enrolling many devices (the fleet engine) reuses one
+// Scratch per worker instead of allocating per pair. The returned
+// Enrollment's configuration vectors alias sc's arena; they stay valid
+// indefinitely (the arena is never rewound), but sc must not be shared
+// across goroutines.
+func EnrollWith(sc *Scratch, pairs []Pair, mode Mode, threshold float64, opt Options) (*Enrollment, error) {
 	if len(pairs) == 0 {
 		return nil, errors.New("core: Enroll with no pairs")
 	}
@@ -82,7 +97,7 @@ func Enroll(pairs []Pair, mode Mode, threshold float64, opt Options) (*Enrollmen
 		Response:   bits.New(len(pairs)),
 	}
 	for i, p := range pairs {
-		sel, err := Select(mode, p.Alpha, p.Beta, opt)
+		sel, err := selectWith(mode, p.Alpha, p.Beta, opt, sc)
 		if errors.Is(err, ErrDegenerate) {
 			continue // masked
 		}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sort"
+
+	"ropuf/internal/circuit"
+)
+
+// Scratch holds reusable buffers for repeated selections and enrollments.
+// The fleet enrollment hot path processes hundreds of thousands of pairs;
+// with a per-worker Scratch the sort/index scratch is reused across devices
+// and every configuration vector is carved out of a shared arena instead of
+// allocated per pair, cutting the allocation count per enrolled device from
+// O(pairs) to O(1).
+//
+// The zero value is ready to use. A Scratch is not safe for concurrent use;
+// give each worker its own.
+type Scratch struct {
+	aIdx, bIdx []int
+	sorter     idxSorter
+	arena      []bool
+}
+
+// arenaBlockBools sizes fresh arena blocks: big enough that a typical
+// device's worth of configuration vectors fits in one allocation.
+const arenaBlockBools = 2048
+
+// config carves one zeroed n-bool configuration vector out of the arena.
+// Handed-out vectors escape into Enrollment results, so the arena is never
+// rewound — it only grows by allocating fresh (zeroed) blocks once the
+// current block is exhausted.
+func (s *Scratch) config(n int) circuit.Config {
+	if cap(s.arena)-len(s.arena) < n {
+		block := arenaBlockBools
+		if n > block {
+			block = n
+		}
+		s.arena = make([]bool, 0, block)
+	}
+	base := len(s.arena)
+	s.arena = s.arena[:base+n]
+	// Full-slice expression: the handed-out config's capacity ends at its
+	// own length, so appends copy out instead of growing into the arena.
+	return circuit.Config(s.arena[base : base+n : base+n])
+}
+
+// idxSorter sorts an index slice by ascending backing values. One instance
+// is reused through Scratch so repeated sorts stay allocation-free (a
+// pointer receiver in a sort.Interface does not allocate per call, unlike
+// sort.Slice's closure path).
+type idxSorter struct {
+	idx  []int
+	vals []float64
+}
+
+func (s *idxSorter) Len() int           { return len(s.idx) }
+func (s *idxSorter) Less(a, b int) bool { return s.vals[s.idx[a]] < s.vals[s.idx[b]] }
+func (s *idxSorter) Swap(a, b int)      { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// ascIdx fills idx (reusing its capacity) with the indices of v sorted by
+// ascending value and returns it.
+func (s *Scratch) ascIdx(idx []int, v []float64) []int {
+	if cap(idx) < len(v) {
+		idx = make([]int, len(v))
+	}
+	idx = idx[:len(v)]
+	for i := range idx {
+		idx[i] = i
+	}
+	s.sorter.idx, s.sorter.vals = idx, v
+	sort.Sort(&s.sorter)
+	s.sorter.idx, s.sorter.vals = nil, nil
+	return idx
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"ropuf/internal/rngx"
+)
+
+func randVec(r *rngx.RNG, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 200 + 5*r.Norm()
+	}
+	return v
+}
+
+func selectionsEqual(a, b Selection) bool {
+	if a.Margin != b.Margin || a.Bit != b.Bit || len(a.X) != len(b.X) || len(a.Y) != len(b.Y) {
+		return false
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			return false
+		}
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScratchSelectionMatchesPlain runs the scratch-backed selection paths
+// with one long-lived Scratch against the public entry points (fresh
+// buffers each call) over random inputs, modes, and options. Results must
+// be identical — buffer reuse is invisible to the algorithm.
+func TestScratchSelectionMatchesPlain(t *testing.T) {
+	r := rngx.New(0x5C)
+	var sc Scratch
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(24)
+		alpha := randVec(r, n)
+		beta := randVec(r, n)
+		opt := Options{RequireOddStages: trial%2 == 0}
+		for _, mode := range []Mode{Case1, Case2} {
+			want, errWant := Select(mode, alpha, beta, opt)
+			got, errGot := selectWith(mode, alpha, beta, opt, &sc)
+			if (errWant == nil) != (errGot == nil) {
+				t.Fatalf("trial %d %v: error mismatch: %v vs %v", trial, mode, errWant, errGot)
+			}
+			if errWant != nil {
+				continue
+			}
+			if !selectionsEqual(want, got) {
+				t.Fatalf("trial %d %v odd=%v: scratch selection diverged:\n got X=%s Y=%s margin=%g\nwant X=%s Y=%s margin=%g",
+					trial, mode, opt.RequireOddStages, got.X, got.Y, got.Margin, want.X, want.Y, want.Margin)
+			}
+		}
+	}
+}
+
+// TestScratchConfigsIndependent verifies configuration vectors carved from a
+// shared Scratch arena never alias: mutating one selection's vectors must
+// not disturb another's.
+func TestScratchConfigsIndependent(t *testing.T) {
+	r := rngx.New(0x1D)
+	var sc Scratch
+	const n = 9
+	alpha1, beta1 := randVec(r, n), randVec(r, n)
+	alpha2, beta2 := randVec(r, n), randVec(r, n)
+	s1, err := selectCase2(alpha1, beta1, Options{}, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SelectCase2(alpha1, beta1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := selectCase2(alpha2, beta2, Options{}, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scribble over the second selection's vectors...
+	for i := range s2.X {
+		s2.X[i] = !s2.X[i]
+		s2.Y[i] = !s2.Y[i]
+	}
+	// ...and the first must be untouched.
+	if !selectionsEqual(s1, ref) {
+		t.Fatal("mutating a later selection's configs corrupted an earlier selection from the same Scratch")
+	}
+	// Appending to a carved config must not grow into the arena either.
+	grown := append(s1.X, true)
+	if &grown[0] == &s1.X[0] {
+		t.Fatal("append grew a carved config in place; full-slice expression missing")
+	}
+}
+
+// TestEnrollWithMatchesEnroll verifies the scratch-backed enrollment is
+// observationally identical to the plain one.
+func TestEnrollWithMatchesEnroll(t *testing.T) {
+	r := rngx.New(0xE7)
+	for trial := 0; trial < 20; trial++ {
+		pairs := make([]Pair, 16)
+		for i := range pairs {
+			pairs[i] = Pair{Alpha: randVec(r, 12), Beta: randVec(r, 12)}
+		}
+		mode := Case1
+		if trial%2 == 1 {
+			mode = Case2
+		}
+		var sc Scratch
+		want, errWant := Enroll(pairs, mode, 3.0, Options{})
+		got, errGot := EnrollWith(&sc, pairs, mode, 3.0, Options{})
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, errWant, errGot)
+		}
+		if errWant != nil {
+			continue
+		}
+		if want.Response.String() != got.Response.String() {
+			t.Fatalf("trial %d: responses differ: %s vs %s", trial, want.Response, got.Response)
+		}
+		for i := range want.Selections {
+			if want.Mask[i] != got.Mask[i] {
+				t.Fatalf("trial %d pair %d: mask differs", trial, i)
+			}
+			if !selectionsEqual(want.Selections[i], got.Selections[i]) {
+				t.Fatalf("trial %d pair %d: selections differ", trial, i)
+			}
+		}
+	}
+}
+
+// TestSelectionScratchAllocsAmortized pins the allocation behaviour the
+// fleet hot path relies on: with a warm Scratch, a Case-2 selection's only
+// allocations are the amortized arena blocks (well under one per call).
+func TestSelectionScratchAllocsAmortized(t *testing.T) {
+	r := rngx.New(0xA11)
+	const n = 15
+	alpha, beta := randVec(r, n), randVec(r, n)
+	var sc Scratch
+	if _, err := selectCase2(alpha, beta, Options{}, &sc); err != nil {
+		t.Fatal(err) // warm the index buffers and the first arena block
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := selectCase2(alpha, beta, Options{}, &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 2n bools per call out of arenaBlockBools-sized blocks → ~1 block per
+	// 68 calls at n=15. Anything ≥1 alloc/call means per-call buffers came
+	// back.
+	if avg >= 1 {
+		t.Fatalf("warm Case-2 selection averaged %v allocs/call, want amortized <1", avg)
+	}
+	if _, err := selectCase1(alpha, beta, Options{}, &sc); err != nil {
+		t.Fatal(err)
+	}
+	avg = testing.AllocsPerRun(200, func() {
+		if _, err := selectCase1(alpha, beta, Options{}, &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg >= 1 {
+		t.Fatalf("warm Case-1 selection averaged %v allocs/call, want amortized <1", avg)
+	}
+}

@@ -27,7 +27,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"ropuf/internal/circuit"
 )
@@ -104,6 +103,12 @@ func validateFinite(alpha, beta []float64) error {
 // SelectCase1 solves the Case-1 selection problem for measured per-stage
 // delay differences alpha (top ring) and beta (bottom ring).
 func SelectCase1(alpha, beta []float64, opt Options) (Selection, error) {
+	return selectCase1(alpha, beta, opt, new(Scratch))
+}
+
+// selectCase1 is SelectCase1 drawing configuration storage and sort scratch
+// from s (the enrollment hot path shares one Scratch per worker).
+func selectCase1(alpha, beta []float64, opt Options, s *Scratch) (Selection, error) {
 	if len(alpha) != len(beta) {
 		return Selection{}, fmt.Errorf("core: SelectCase1 length mismatch %d vs %d", len(alpha), len(beta))
 	}
@@ -126,22 +131,26 @@ func SelectCase1(alpha, beta []float64, opt Options) (Selection, error) {
 	if pos == 0 && neg == 0 {
 		return Selection{}, ErrDegenerate
 	}
-	takePositive := pos > -neg
-	cfg := circuit.NewConfig(n)
-	for i := range alpha {
-		d := alpha[i] - beta[i]
-		if takePositive && d > 0 || !takePositive && d < 0 {
-			cfg[i] = true
-		}
-	}
+	var cfg circuit.Config
 	if opt.RequireOddStages {
 		var err error
-		cfg, err = bestOddCase1(alpha, beta)
+		cfg, err = bestOddCase1(alpha, beta, s)
 		if err != nil {
 			return Selection{}, err
 		}
+	} else {
+		takePositive := pos > -neg
+		cfg = s.config(n)
+		for i := range alpha {
+			d := alpha[i] - beta[i]
+			if takePositive && d > 0 || !takePositive && d < 0 {
+				cfg[i] = true
+			}
+		}
 	}
-	sel := Selection{X: cfg, Y: cfg.Clone()}
+	y := s.config(n)
+	copy(y, cfg)
+	sel := Selection{X: cfg, Y: y}
 	bit, margin, err := sel.Evaluate(alpha, beta)
 	if err != nil {
 		return Selection{}, err
@@ -154,7 +163,7 @@ func SelectCase1(alpha, beta []float64, opt Options) (Selection, error) {
 // stages it keeps. Starting from each sign class taken whole, an even class
 // is repaired either by dropping its smallest-|Δd| member or by adding the
 // smallest-|Δd| member of the opposite class — whichever costs less margin.
-func bestOddCase1(alpha, beta []float64) (circuit.Config, error) {
+func bestOddCase1(alpha, beta []float64, s *Scratch) (circuit.Config, error) {
 	n := len(alpha)
 	type classState struct {
 		cfg    circuit.Config
@@ -162,7 +171,7 @@ func bestOddCase1(alpha, beta []float64) (circuit.Config, error) {
 		ok     bool
 	}
 	build := func(positive bool) classState {
-		cfg := circuit.NewConfig(n)
+		cfg := s.config(n)
 		var sum float64
 		count := 0
 		minIn := math.Inf(1)
@@ -222,6 +231,35 @@ func bestOddCase1(alpha, beta []float64) (circuit.Config, error) {
 // configuration vectors for the two rings, constrained to select the same
 // number of stages in each.
 func SelectCase2(alpha, beta []float64, opt Options) (Selection, error) {
+	return selectCase2(alpha, beta, opt, new(Scratch))
+}
+
+// case2Direction builds the best prefix pairing the slow side's largest
+// delays against the fast side's smallest. slowAsc/fastAsc are the sorted
+// index orders; it returns the selected prefix length k and its margin.
+// A plain function (not a closure) so the hot path does not allocate a
+// closure environment per call.
+func case2Direction(slowVals, fastVals []float64, slowAsc, fastAsc []int, odd bool) (bestK int, bestMargin float64) {
+	n := len(slowVals)
+	bestK, bestMargin = 0, math.Inf(-1)
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		// Pair the k-th slowest stage of the slow side against the
+		// k-th fastest stage of the fast side.
+		sum += slowVals[slowAsc[n-k]] - fastVals[fastAsc[k-1]]
+		if odd && k%2 == 0 {
+			continue
+		}
+		if sum > bestMargin {
+			bestK, bestMargin = k, sum
+		}
+	}
+	return bestK, bestMargin
+}
+
+// selectCase2 is SelectCase2 drawing configuration storage and sort scratch
+// from s (the enrollment hot path shares one Scratch per worker).
+func selectCase2(alpha, beta []float64, opt Options, s *Scratch) (Selection, error) {
 	if len(alpha) != len(beta) {
 		return Selection{}, fmt.Errorf("core: SelectCase2 length mismatch %d vs %d", len(alpha), len(beta))
 	}
@@ -233,55 +271,22 @@ func SelectCase2(alpha, beta []float64, opt Options) (Selection, error) {
 		return Selection{}, err
 	}
 
-	// idxAsc returns the indices of v sorted by ascending value.
-	idxAsc := func(v []float64) []int {
-		idx := make([]int, len(v))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
-		return idx
-	}
-	aAsc := idxAsc(alpha)
-	bAsc := idxAsc(beta)
+	s.aIdx = s.ascIdx(s.aIdx, alpha)
+	s.bIdx = s.ascIdx(s.bIdx, beta)
+	aAsc, bAsc := s.aIdx, s.bIdx
 
-	// direction builds the best prefix pairing slow-side's largest delays
-	// against fast-side's smallest. slow/fast are the sorted index orders;
-	// returns the selected k and the accumulated margin for each prefix
-	// length (margins[k] = margin with k pairs).
-	type dirResult struct {
-		k      int
-		margin float64
-	}
-	direction := func(slowVals, fastVals []float64, slowAsc, fastAsc []int, odd bool) dirResult {
-		best := dirResult{k: 0, margin: math.Inf(-1)}
-		sum := 0.0
-		for k := 1; k <= n; k++ {
-			// Pair the k-th slowest stage of the slow side against the
-			// k-th fastest stage of the fast side.
-			sum += slowVals[slowAsc[n-k]] - fastVals[fastAsc[k-1]]
-			if odd && k%2 == 0 {
-				continue
-			}
-			if sum > best.margin {
-				best = dirResult{k: k, margin: sum}
-			}
-		}
-		return best
-	}
+	kTop, mTop := case2Direction(alpha, beta, aAsc, bAsc, opt.RequireOddStages) // top slower
+	kBot, mBot := case2Direction(beta, alpha, bAsc, aAsc, opt.RequireOddStages) // bottom slower
 
-	dTop := direction(alpha, beta, aAsc, bAsc, opt.RequireOddStages) // top slower
-	dBot := direction(beta, alpha, bAsc, aAsc, opt.RequireOddStages) // bottom slower
-
-	x := circuit.NewConfig(n)
-	y := circuit.NewConfig(n)
-	if dTop.margin >= dBot.margin {
-		for i := 0; i < dTop.k; i++ {
+	x := s.config(n)
+	y := s.config(n)
+	if mTop >= mBot {
+		for i := 0; i < kTop; i++ {
 			x[aAsc[n-1-i]] = true // k slowest top stages
 			y[bAsc[i]] = true     // k fastest bottom stages
 		}
 	} else {
-		for i := 0; i < dBot.k; i++ {
+		for i := 0; i < kBot; i++ {
 			y[bAsc[n-1-i]] = true
 			x[aAsc[i]] = true
 		}

@@ -130,9 +130,13 @@ func Enroll(ctx context.Context, devices []Device, opt Options) (*EnrollReport, 
 		obs.KV("devices", strconv.Itoa(len(devices))),
 		obs.KV("workers", strconv.Itoa(opt.workers())))
 	report := &EnrollReport{Results: make([]DeviceResult, len(devices))}
-	run := func(i int) {
+	// One selection Scratch per worker: sort and configuration buffers are
+	// reused across every device a worker processes, which is where the
+	// enrollment hot path's allocation savings come from.
+	scratch := make([]core.Scratch, opt.workers())
+	run := func(worker, i int) {
 		timeDevice(ctx, opt, "enroll", devices[i].ID, func() error {
-			report.Results[i] = enrollOne(devices[i], opt)
+			report.Results[i] = enrollOne(devices[i], opt, &scratch[worker])
 			return report.Results[i].Err
 		})
 	}
@@ -197,7 +201,7 @@ func (d Device) mode(opt Options) core.Mode {
 
 // enrollOne enrolls a single device, converting panics from poisoned input
 // into per-device errors so one bad device cannot take down the batch.
-func enrollOne(d Device, opt Options) (res DeviceResult) {
+func enrollOne(d Device, opt Options, sc *core.Scratch) (res DeviceResult) {
 	res.ID = d.ID
 	defer func() {
 		if p := recover(); p != nil {
@@ -205,7 +209,7 @@ func enrollOne(d Device, opt Options) (res DeviceResult) {
 			res.Err = fmt.Errorf("fleet: device %s: panic during enrollment: %v", d.ID, p)
 		}
 	}()
-	enr, err := core.Enroll(d.Pairs, d.mode(opt), opt.Threshold, opt.Select)
+	enr, err := core.EnrollWith(sc, d.Pairs, d.mode(opt), opt.Threshold, opt.Select)
 	if err != nil {
 		res.Err = fmt.Errorf("fleet: device %s: %w", d.ID, err)
 		return res
@@ -262,7 +266,7 @@ func Evaluate(ctx context.Context, jobs []EvalJob, opt Options) (*EvalReport, er
 		obs.KV("jobs", strconv.Itoa(len(jobs))),
 		obs.KV("workers", strconv.Itoa(opt.workers())))
 	report := &EvalReport{Results: make([]EvalResult, len(jobs))}
-	run := func(i int) {
+	run := func(_, i int) {
 		timeDevice(ctx, opt, "evaluate", jobs[i].ID, func() error {
 			report.Results[i] = evalOne(jobs[i])
 			return report.Results[i].Err
@@ -344,10 +348,12 @@ func evalOne(j EvalJob) (res EvalResult) {
 	return res
 }
 
-// dispatch feeds job indices to a bounded worker pool. It stops dispatching
-// once ctx is cancelled (in-flight jobs finish) and returns the context's
-// error, if any.
-func dispatch(ctx context.Context, n, workers int, run func(int)) error {
+// dispatch feeds job indices to a bounded worker pool. run receives the
+// worker's index alongside the job index so callers can maintain per-worker
+// scratch state without synchronization. dispatch stops dispatching once
+// ctx is cancelled (in-flight jobs finish) and returns the context's error,
+// if any.
+func dispatch(ctx context.Context, n, workers int, run func(worker, idx int)) error {
 	if workers > n {
 		workers = n
 	}
@@ -355,12 +361,12 @@ func dispatch(ctx context.Context, n, workers int, run func(int)) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
-				run(i)
+				run(worker, i)
 			}
-		}()
+		}(w)
 	}
 dispatching:
 	for i := 0; i < n; i++ {

@@ -18,15 +18,23 @@ func Synthetic(numDevices, pairsPerDevice, stages int, seed uint64) ([]Device, e
 			numDevices, pairsPerDevice, stages)
 	}
 	devices := make([]Device, numDevices)
+	// Per-pair draws are interleaved (α₀, β₀, α₁, β₁, …) for historical
+	// stream compatibility: batch-drawing into buf and de-interleaving
+	// consumes the RNG in exactly that order, so fabricated fleets are
+	// bit-identical to the scalar loop this replaces while each device
+	// costs two allocations instead of two per pair.
+	buf := make([]float64, 2*stages)
 	for d := range devices {
 		r := deviceRNG(seed, d)
 		pairs := make([]core.Pair, pairsPerDevice)
+		backing := make([]float64, 2*stages*pairsPerDevice)
 		for p := range pairs {
-			alpha := make([]float64, stages)
-			beta := make([]float64, stages)
+			r.NormFill(buf, 200, 5)
+			alpha := backing[2*stages*p : 2*stages*p+stages : 2*stages*p+stages]
+			beta := backing[2*stages*p+stages : 2*stages*(p+1) : 2*stages*(p+1)]
 			for s := 0; s < stages; s++ {
-				alpha[s] = 200 + 5*r.Norm()
-				beta[s] = 200 + 5*r.Norm()
+				alpha[s] = buf[2*s]
+				beta[s] = buf[2*s+1]
 			}
 			pairs[p] = core.Pair{Alpha: alpha, Beta: beta}
 		}
@@ -42,14 +50,32 @@ func Synthetic(numDevices, pairsPerDevice, stages int, seed uint64) ([]Device, e
 func Remeasure(d Device, sigmaPS float64, seed uint64) []core.Pair {
 	r := rngx.New(seed).Split()
 	out := make([]core.Pair, len(d.Pairs))
+	total := 0
+	for _, pair := range d.Pairs {
+		total += len(pair.Alpha) + len(pair.Beta)
+	}
+	// One backing array for the whole device; each pair's vectors are
+	// carved from it with full-slice expressions so they stay independent.
+	backing := make([]float64, total)
+	next := 0
+	carve := func(n int) []float64 {
+		s := backing[next : next+n : next+n]
+		next += n
+		return s
+	}
 	for p, pair := range d.Pairs {
-		alpha := make([]float64, len(pair.Alpha))
-		beta := make([]float64, len(pair.Beta))
+		alpha := carve(len(pair.Alpha))
+		beta := carve(len(pair.Beta))
+		// NormFill draws σ·N(0,1) perturbations in the same stream order as
+		// the per-element scalar calls it replaces; adding the enrolled
+		// value afterwards keeps the result bit-identical.
+		r.NormFill(alpha, 0, sigmaPS)
 		for i, v := range pair.Alpha {
-			alpha[i] = v + r.NormMeanStd(0, sigmaPS)
+			alpha[i] += v
 		}
+		r.NormFill(beta, 0, sigmaPS)
 		for i, v := range pair.Beta {
-			beta[i] = v + r.NormMeanStd(0, sigmaPS)
+			beta[i] += v
 		}
 		out[p] = core.Pair{Alpha: alpha, Beta: beta}
 	}

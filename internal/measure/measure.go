@@ -19,6 +19,20 @@
 // Real measurements carry counter/jitter noise; Meter models it as additive
 // Gaussian noise on each half-period observation, averaged over Repeats
 // samples per configuration.
+//
+// Ddiffs runs the protocol incrementally: the per-stage selected/bypassed
+// delays are tabulated once (O(n) cached env-factor lookups via
+// circuit.Ring.StageDelaysPS), the all-selected loop sum is computed once,
+// and each leave-one-out half-period is derived as
+//
+//	M_i = total − (inv_i + path1_i) + path0_i
+//
+// so the whole protocol costs O(n) stage evaluations instead of O(n²). The
+// noise model is layered on top unchanged, drawing from the RNG in exactly
+// the naive order, so measurement streams stay reproducible. DdiffsNaive
+// keeps the direct n+1-whole-ring-evaluations implementation (with the
+// env-factor cache bypassed) as the reference path for equivalence tests
+// and benchmarks.
 package measure
 
 import (
@@ -30,7 +44,10 @@ import (
 )
 
 // Meter measures ring periods under a fixed environment with Gaussian
-// timing noise.
+// timing noise. A Meter owns a serial RNG stream plus reusable scratch
+// buffers and is therefore not safe for concurrent use; give each
+// goroutine its own Meter (the dataset layer already derives one per
+// (board, environment)).
 type Meter struct {
 	// Env is the measurement environment (supply voltage, temperature).
 	Env silicon.Env
@@ -45,6 +62,10 @@ type Meter struct {
 	Repeats int
 
 	rng *rngx.RNG
+
+	// Scratch reused across measurements so the protocol's hot path does
+	// not allocate per configuration.
+	sel1, sel0, noiseBuf []float64
 }
 
 // NewMeter returns a Meter with the given environment, 0.5 ps single-shot
@@ -53,41 +74,140 @@ func NewMeter(env silicon.Env, rng *rngx.RNG) *Meter {
 	return &Meter{Env: env, NoisePS: 0.5, Repeats: 5, rng: rng}
 }
 
+// validate rejects unusable meter settings. Input validation runs before
+// any truth computation so the returned error is deterministic regardless
+// of ring state.
+func (m *Meter) validate() error {
+	if m.Repeats <= 0 {
+		return fmt.Errorf("measure: Repeats must be positive, got %d", m.Repeats)
+	}
+	return nil
+}
+
+// noiseAvgPS draws Repeats Gaussian error samples and returns their
+// average. The draw order and arithmetic are identical to the pre-batched
+// implementation (Repeats sequential NormMeanStd calls summed left to
+// right), so measurement streams are bit-compatible across the refactor.
+func (m *Meter) noiseAvgPS() float64 {
+	if cap(m.noiseBuf) < m.Repeats {
+		m.noiseBuf = make([]float64, m.Repeats)
+	}
+	buf := m.noiseBuf[:m.Repeats]
+	m.rng.NormFill(buf, 0, m.NoisePS)
+	var noise float64
+	for _, v := range buf {
+		noise += v
+	}
+	return noise / float64(m.Repeats)
+}
+
 // HalfPeriodPS returns a noisy measurement of the ring's one-way loop delay
 // under cfg: the true value plus the average of Repeats Gaussian error
 // samples.
 func (m *Meter) HalfPeriodPS(r *circuit.Ring, cfg circuit.Config) (float64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
 	truth, err := r.HalfPeriodPS(cfg, m.Env)
 	if err != nil {
 		return 0, err
 	}
-	if m.Repeats <= 0 {
-		return 0, fmt.Errorf("measure: Repeats must be positive, got %d", m.Repeats)
+	return truth + m.noiseAvgPS(), nil
+}
+
+// halfPeriodNaivePS is HalfPeriodPS with the env-factor cache bypassed,
+// used only by the DdiffsNaive reference path.
+func (m *Meter) halfPeriodNaivePS(r *circuit.Ring, cfg circuit.Config) (float64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
 	}
-	var noise float64
-	for i := 0; i < m.Repeats; i++ {
-		noise += m.rng.NormMeanStd(0, m.NoisePS)
+	truth, err := r.HalfPeriodNaivePS(cfg, m.Env)
+	if err != nil {
+		return 0, err
 	}
-	return truth + noise/float64(m.Repeats), nil
+	return truth + m.noiseAvgPS(), nil
 }
 
 // Ddiffs runs the leave-one-out protocol on ring r and returns the
 // estimated per-stage delay differences in picoseconds.
 //
-// It performs n+1 ring measurements: the all-zero baseline plus one
-// leave-one-out configuration per stage. Rings with a single stage are
-// measured directly (selected minus baseline).
+// The protocol models n+1 ring measurements — the all-zero baseline plus
+// one leave-one-out configuration per stage — but evaluates them
+// incrementally: per-stage selected/bypassed delays are tabulated once and
+// each leave-one-out half-period is derived from the all-selected total,
+// so the call is O(n) rather than O(n²) stage evaluations and performs a
+// single allocation (the returned slice). Noise is drawn from the RNG in
+// exactly the same order as the direct implementation (see DdiffsNaive);
+// the only deviation is floating-point summation order on the half-period
+// truths, bounded by a few ULPs of the loop delay. Rings with a single
+// stage are measured directly (selected minus baseline).
 func (m *Meter) Ddiffs(r *circuit.Ring) ([]float64, error) {
 	n := r.NumStages()
 	if n == 0 {
 		return nil, fmt.Errorf("measure: ring has no stages")
 	}
-	baseline, err := m.HalfPeriodPS(r, circuit.NewConfig(n))
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	if cap(m.sel1) < n {
+		m.sel1 = make([]float64, n)
+		m.sel0 = make([]float64, n)
+	}
+	sel1, sel0 := m.sel1[:n], m.sel0[:n]
+	enable, err := r.StageDelaysPS(m.Env, sel1, sel0)
+	if err != nil {
+		return nil, err
+	}
+	// Left-to-right sums match the direct whole-ring evaluation order, so
+	// the baseline (and the n == 1 path) are bit-identical to DdiffsNaive.
+	baseline := enable
+	for _, v := range sel0 {
+		baseline += v
+	}
+	w := baseline + m.noiseAvgPS()
+	if n == 1 {
+		sel := (enable + sel1[0]) + m.noiseAvgPS()
+		return []float64{sel - w}, nil
+	}
+	total := enable
+	for _, v := range sel1 {
+		total += v
+	}
+	out := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		mi := total - sel1[i] + sel0[i] + m.noiseAvgPS()
+		out[i] = mi - w // A_i, rewritten to ddiff_i below
+		sum += out[i]
+	}
+	d := sum / float64(n-1)
+	for i := range out {
+		out[i] = d - out[i]
+	}
+	return out, nil
+}
+
+// DdiffsNaive is the direct reference implementation of the leave-one-out
+// protocol: n+1 whole-ring evaluations, each recomputing every device's
+// environment factors from scratch (the pre-optimization cost model,
+// O(n²) stage evaluations and O(n²) math.Pow calls). It consumes the RNG
+// identically to Ddiffs; the results agree with Ddiffs to within
+// floating-point summation order (a few ULPs of the loop delay). Kept for
+// equivalence tests and the measurement benchmarks.
+func (m *Meter) DdiffsNaive(r *circuit.Ring) ([]float64, error) {
+	n := r.NumStages()
+	if n == 0 {
+		return nil, fmt.Errorf("measure: ring has no stages")
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	baseline, err := m.halfPeriodNaivePS(r, circuit.NewConfig(n))
 	if err != nil {
 		return nil, err
 	}
 	if n == 1 {
-		sel, err := m.HalfPeriodPS(r, circuit.AllSelected(1))
+		sel, err := m.halfPeriodNaivePS(r, circuit.AllSelected(1))
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +218,7 @@ func (m *Meter) Ddiffs(r *circuit.Ring) ([]float64, error) {
 	for i := 0; i < n; i++ {
 		cfg := circuit.AllSelected(n)
 		cfg[i] = false
-		mi, err := m.HalfPeriodPS(r, cfg)
+		mi, err := m.halfPeriodNaivePS(r, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -90,6 +90,20 @@ func (r *RNG) Intn(n int) int {
 // Bool returns a uniformly random boolean.
 func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
 
+// polar runs one accepted round of the Marsaglia polar method and returns
+// the two resulting independent standard normal variates in draw order.
+func (r *RNG) polar() (first, second float64) {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			f := math.Sqrt(-2 * math.Log(s) / s)
+			return u * f, v * f
+		}
+	}
+}
+
 // Norm returns a standard normal variate (mean 0, stddev 1) using the
 // Marsaglia polar method. Two variates are produced per round; the spare is
 // cached.
@@ -98,22 +112,41 @@ func (r *RNG) Norm() float64 {
 		r.haveSpare = false
 		return r.spare
 	}
-	for {
-		u := 2*r.Float64() - 1
-		v := 2*r.Float64() - 1
-		s := u*u + v*v
-		if s > 0 && s < 1 {
-			f := math.Sqrt(-2 * math.Log(s) / s)
-			r.spare = v * f
-			r.haveSpare = true
-			return u * f
-		}
-	}
+	first, second := r.polar()
+	r.spare = second
+	r.haveSpare = true
+	return first
 }
 
 // NormMeanStd returns a normal variate with the given mean and stddev.
 func (r *RNG) NormMeanStd(mean, std float64) float64 {
 	return mean + std*r.Norm()
+}
+
+// NormFill fills dst with independent normal variates of the given mean and
+// stddev. The generator state after the call — and every value written — is
+// bit-identical to len(dst) sequential NormMeanStd calls; the batch form
+// exists so hot loops (synthetic fleet fabrication, measurement noise,
+// remeasurement) pay the polar-method bookkeeping once per pair of variates
+// instead of once per call.
+func (r *RNG) NormFill(dst []float64, mean, std float64) {
+	i := 0
+	if r.haveSpare && len(dst) > 0 {
+		r.haveSpare = false
+		dst[0] = mean + std*r.spare
+		i = 1
+	}
+	for ; i+1 < len(dst); i += 2 {
+		first, second := r.polar()
+		dst[i] = mean + std*first
+		dst[i+1] = mean + std*second
+	}
+	if i < len(dst) {
+		first, second := r.polar()
+		dst[i] = mean + std*first
+		r.spare = second
+		r.haveSpare = true
+	}
 }
 
 // Perm returns a random permutation of [0, n).

@@ -223,3 +223,72 @@ func TestUint64BitBalance(t *testing.T) {
 		}
 	}
 }
+
+func TestNormFillMatchesSequentialNorm(t *testing.T) {
+	// NormFill must consume the generator exactly as sequential NormMeanStd
+	// calls would: same values bit for bit, same spare-variate state after,
+	// with and without a cached spare going in.
+	for _, n := range []int{0, 1, 2, 3, 4, 7, 8, 33} {
+		for _, primeSpare := range []bool{false, true} {
+			seed := uint64(1000 + n)
+			ref := New(seed)
+			got := New(seed)
+			if primeSpare {
+				if a, b := ref.Norm(), got.Norm(); a != b {
+					t.Fatalf("n=%d: priming draws diverged: %v vs %v", n, a, b)
+				}
+			}
+			want := make([]float64, n)
+			for i := range want {
+				want[i] = ref.NormMeanStd(3, 0.25)
+			}
+			dst := make([]float64, n)
+			got.NormFill(dst, 3, 0.25)
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("n=%d prime=%v: value %d = %x, want %x",
+						n, primeSpare, i, math.Float64bits(dst[i]), math.Float64bits(want[i]))
+				}
+			}
+			// Post-call state must match too: the spare cache and the raw
+			// stream position both show up in the next few draws.
+			for i := 0; i < 3; i++ {
+				if a, b := ref.Norm(), got.Norm(); a != b {
+					t.Fatalf("n=%d prime=%v: post-fill Norm draw %d diverged", n, primeSpare, i)
+				}
+			}
+			if a, b := ref.Uint64(), got.Uint64(); a != b {
+				t.Fatalf("n=%d prime=%v: post-fill raw stream diverged", n, primeSpare)
+			}
+		}
+	}
+}
+
+func TestNormFillAllocFree(t *testing.T) {
+	r := New(7)
+	dst := make([]float64, 64)
+	if avg := testing.AllocsPerRun(100, func() { r.NormFill(dst, 0, 1) }); avg != 0 {
+		t.Fatalf("NormFill allocated %v times per call, want 0", avg)
+	}
+}
+
+func TestNormFillMoments(t *testing.T) {
+	r := New(99)
+	dst := make([]float64, 200000)
+	r.NormFill(dst, 5, 2)
+	var sum, sq float64
+	for _, v := range dst {
+		sum += v
+	}
+	mean := sum / float64(len(dst))
+	for _, v := range dst {
+		sq += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(sq / float64(len(dst)))
+	if math.Abs(mean-5) > 0.02 {
+		t.Fatalf("NormFill mean %g, want ~5", mean)
+	}
+	if math.Abs(std-2) > 0.02 {
+		t.Fatalf("NormFill std %g, want ~2", std)
+	}
+}

@@ -43,3 +43,47 @@ func BenchmarkAgedDelayPS(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEnvFactorUncached prices one whole-die environment-factor sweep
+// computed from scratch: four math.Pow calls per device, the per-evaluation
+// cost the delay-table cache eliminates.
+func BenchmarkEnvFactorUncached(b *testing.B) {
+	d, err := NewDie(DefaultParams(), 16, 16, rngx.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := Env{V: 1.08, T: 45}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for j := range d.Devices {
+			sink += d.DelayAtUncachedPS(d.Devices[j], env)
+		}
+	}
+	benchSink = sink
+}
+
+// BenchmarkEnvFactorCached prices the same whole-die sweep through the
+// cached delay table (built once, then a slice read per device).
+func BenchmarkEnvFactorCached(b *testing.B) {
+	d, err := NewDie(DefaultParams(), 16, 16, rngx.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := Env{V: 1.08, T: 45}
+	d.DelaysPS(env) // build outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		delays := d.DelaysPS(env)
+		for _, v := range delays {
+			sink += v
+		}
+	}
+	benchSink = sink
+}
+
+// benchSink defeats dead-code elimination of the benchmark loops.
+var benchSink float64

@@ -21,6 +21,8 @@ package silicon
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ropuf/internal/rngx"
 )
@@ -132,13 +134,44 @@ func (s surface) at(u, v float64) float64 {
 	return s.c[0] + s.c[1]*u + s.c[2]*v + s.c[3]*u*u + s.c[4]*v*v + s.c[5]*u*v
 }
 
+// envTable is an immutable per-environment snapshot of every device's
+// environment factor (delay(env)/delay(nominal)) and resulting delay. One
+// table costs O(NumDevices) math.Pow calls to build; once built, any number
+// of delay queries under that environment are a multiply each.
+type envTable struct {
+	env Env
+	// vth pins the threshold voltages the factors were computed from, so
+	// lookups can detect a stale entry if a caller mutated Devices.
+	vth     []float64
+	factors []float64
+	delays  []float64
+}
+
+// maxEnvTables bounds the per-die table store. A V/T sweep visits a few
+// dozen environments; past the cap the store resets generationally (sweeps
+// revisit environments in runs, so the freshly cached entries are the ones
+// about to be reused).
+const maxEnvTables = 64
+
 // Die is a fabricated chip: a W×H grid of devices sharing one systematic
-// variation surface.
+// variation surface. A Die caches per-environment delay tables (see
+// DelaysPS); the cache is safe for concurrent use, so rings sharing a die
+// may be measured from multiple goroutines. Devices is exported for
+// inspection; mutating Base is always safe (factors do not depend on it),
+// while mutating Vth is detected per lookup and falls back to a direct
+// recomputation.
 type Die struct {
 	Params  Params
 	W, H    int
 	Devices []Device
 	surf    surface
+
+	// current is the most recently used environment table; the hot paths
+	// check only this pointer. tables retains every built table (bounded by
+	// maxEnvTables) so alternating environments promote instead of rebuild.
+	current atomic.Pointer[envTable]
+	mu      sync.Mutex
+	tables  map[Env]*envTable
 }
 
 // NewDie fabricates a die with w×h devices using the supplied process
@@ -222,16 +255,91 @@ func pow(base, exp float64) float64 {
 	return mathPow(base, exp)
 }
 
+// envTableFor returns the (possibly freshly built) delay table for env and
+// promotes it to the current slot.
+func (d *Die) envTableFor(env Env) *envTable {
+	if t := d.current.Load(); t != nil && t.env == env {
+		return t
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t, ok := d.tables[env]; ok {
+		d.current.Store(t)
+		return t
+	}
+	t := &envTable{
+		env:     env,
+		vth:     make([]float64, len(d.Devices)),
+		factors: make([]float64, len(d.Devices)),
+		delays:  make([]float64, len(d.Devices)),
+	}
+	for i := range d.Devices {
+		dev := &d.Devices[i]
+		t.vth[i] = dev.Vth
+		t.factors[i] = d.envFactor(dev.Vth, env)
+		t.delays[i] = dev.Base * t.factors[i]
+	}
+	if d.tables == nil || len(d.tables) >= maxEnvTables {
+		d.tables = make(map[Env]*envTable, 8)
+	}
+	d.tables[env] = t
+	d.current.Store(t)
+	return t
+}
+
+// EnvFactors returns the per-device environment-factor table for env
+// (factor i is delay(env)/delay(nominal) for device i), building and
+// caching it on first use. The returned slice is shared and must not be
+// mutated.
+func (d *Die) EnvFactors(env Env) []float64 {
+	return d.envTableFor(env).factors
+}
+
+// DelaysPS returns the per-device delay table for env in picoseconds,
+// building and caching it on first use. The table snapshots Device.Base at
+// build time; the returned slice is shared and must not be mutated. A
+// fixed-environment sweep should prefer this (or any whole-ring accessor,
+// which warms the same cache) over per-device DelayPS calls: the four
+// math.Pow evaluations per device are paid once per (die, environment)
+// instead of once per query.
+func (d *Die) DelaysPS(env Env) []float64 {
+	return d.envTableFor(env).delays
+}
+
 // DelayPS returns the delay of device i under the given environment, in
-// picoseconds. It panics if i is out of range.
+// picoseconds. It panics if i is out of range. When the die's current
+// cached environment matches env the lookup is a multiply; otherwise the
+// factor is recomputed directly (a point query does not build a table —
+// call DelaysPS to warm one).
 func (d *Die) DelayPS(i int, env Env) float64 {
 	dev := &d.Devices[i]
+	if t := d.current.Load(); t != nil && t.env == env && t.vth[i] == dev.Vth {
+		return dev.Base * t.factors[i]
+	}
 	return dev.Base * d.envFactor(dev.Vth, env)
 }
 
 // DelayAtPS is DelayPS for an explicit device value (used by circuit stages
-// that hold Device copies rather than indices).
+// that hold Device copies rather than indices). The cached factor is looked
+// up by the device's grid coordinates; the stored Vth must match exactly —
+// and the factor depends only on (Vth, env) — so a hit is bit-identical to
+// the direct computation and any mismatch (foreign or mutated device) falls
+// back to computing from scratch.
 func (d *Die) DelayAtPS(dev Device, env Env) float64 {
+	if t := d.current.Load(); t != nil && t.env == env {
+		if i := dev.Y*d.W + dev.X; i >= 0 && i < len(t.vth) && t.vth[i] == dev.Vth {
+			return dev.Base * t.factors[i]
+		}
+	}
+	return dev.Base * d.envFactor(dev.Vth, env)
+}
+
+// DelayAtUncachedPS is DelayAtPS with the environment-factor cache
+// bypassed: it always recomputes the alpha-power-law factors (4 math.Pow
+// calls). It is the reference path for the *Naive measurement
+// implementations and for equivalence tests; results are bit-identical to
+// the cached accessors.
+func (d *Die) DelayAtUncachedPS(dev Device, env Env) float64 {
 	return dev.Base * d.envFactor(dev.Vth, env)
 }
 

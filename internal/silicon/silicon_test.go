@@ -1,7 +1,9 @@
 package silicon
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -228,5 +230,122 @@ func TestDelayAtPSMatchesIndexedDelay(t *testing.T) {
 		if d.DelayPS(i, env) != d.DelayAtPS(*d.Device(i), env) {
 			t.Fatalf("device %d: DelayAtPS disagrees with DelayPS", i)
 		}
+	}
+}
+
+func TestEnvTableBitIdenticalToUncached(t *testing.T) {
+	d := testDie(t, 31)
+	envs := []Env{Nominal, {V: 1.08, T: 45}, {V: 1.32, T: -20}, {V: 0.96, T: 85}}
+	for _, env := range envs {
+		delays := d.DelaysPS(env)
+		factors := d.EnvFactors(env)
+		if len(delays) != d.NumDevices() || len(factors) != d.NumDevices() {
+			t.Fatalf("table lengths %d/%d, want %d", len(delays), len(factors), d.NumDevices())
+		}
+		for i := range d.Devices {
+			dev := d.Devices[i]
+			want := d.DelayAtUncachedPS(dev, env)
+			if delays[i] != want {
+				t.Fatalf("env %+v device %d: DelaysPS %x, uncached %x",
+					env, i, math.Float64bits(delays[i]), math.Float64bits(want))
+			}
+			if got := d.DelayPS(i, env); got != want {
+				t.Fatalf("env %+v device %d: DelayPS %x, uncached %x",
+					env, i, math.Float64bits(got), math.Float64bits(want))
+			}
+			if got := d.DelayAtPS(dev, env); got != want {
+				t.Fatalf("env %+v device %d: DelayAtPS %x, uncached %x",
+					env, i, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+	// Revisiting an earlier environment must promote its retained table, not
+	// rebuild, and still agree with the direct computation.
+	for _, env := range envs {
+		if got, want := d.DelayPS(3, env), d.DelayAtUncachedPS(d.Devices[3], env); got != want {
+			t.Fatalf("revisited env %+v: DelayPS %g, want %g", env, got, want)
+		}
+	}
+}
+
+func TestEnvTableVthMutationFallsBack(t *testing.T) {
+	d := testDie(t, 32)
+	env := Env{V: 1.14, T: 60}
+	d.DelaysPS(env) // warm the table
+	k := 7
+	d.Devices[k].Vth += 0.05
+	want := d.DelayAtUncachedPS(d.Devices[k], env)
+	if got := d.DelayPS(k, env); got != want {
+		t.Fatalf("after Vth mutation DelayPS served stale factor: %g, want %g", got, want)
+	}
+	if got := d.DelayAtPS(d.Devices[k], env); got != want {
+		t.Fatalf("after Vth mutation DelayAtPS served stale factor: %g, want %g", got, want)
+	}
+	// Base mutation needs no invalidation: cached factors do not depend on it.
+	d.Devices[k].Vth -= 0.05
+	d.Devices[k].Base *= 2
+	want = d.DelayAtUncachedPS(d.Devices[k], env)
+	if got := d.DelayPS(k, env); got != want {
+		t.Fatalf("after Base mutation DelayPS %g, want %g", got, want)
+	}
+}
+
+func TestEnvTableForeignDeviceFallsBack(t *testing.T) {
+	d := testDie(t, 33)
+	env := Env{V: 1.26, T: 10}
+	d.DelaysPS(env)
+	// A device whose coordinates lie outside the grid must not index the
+	// table; it computes directly.
+	foreign := Device{X: -3, Y: 1, Base: 180, Vth: 0.47}
+	if got, want := d.DelayAtPS(foreign, env), d.DelayAtUncachedPS(foreign, env); got != want {
+		t.Fatalf("foreign device: DelayAtPS %g, want %g", got, want)
+	}
+}
+
+func TestEnvTableStoreCapResets(t *testing.T) {
+	d := testDie(t, 34)
+	// Visit more environments than the store retains; every lookup must stay
+	// correct through the generational reset.
+	for i := 0; i < maxEnvTables+16; i++ {
+		env := Env{V: 1.0 + 0.002*float64(i), T: 25}
+		got := d.DelaysPS(env)[5]
+		want := d.DelayAtUncachedPS(d.Devices[5], env)
+		if got != want {
+			t.Fatalf("env %d: DelaysPS %g, want %g", i, got, want)
+		}
+	}
+	if len(d.tables) > maxEnvTables {
+		t.Fatalf("table store grew to %d entries, cap %d", len(d.tables), maxEnvTables)
+	}
+}
+
+func TestEnvTableConcurrentLookups(t *testing.T) {
+	d := testDie(t, 35)
+	envs := []Env{Nominal, {V: 1.08, T: 45}, {V: 1.32, T: -20}, {V: 0.96, T: 85}}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				env := envs[(g+iter)%len(envs)]
+				delays := d.DelaysPS(env)
+				i := (g*31 + iter) % d.NumDevices()
+				if delays[i] != d.DelayAtUncachedPS(d.Devices[i], env) {
+					errc <- fmt.Errorf("goroutine %d iter %d: cached delay mismatch", g, iter)
+					return
+				}
+				if d.DelayPS(i, env) != delays[i] {
+					errc <- fmt.Errorf("goroutine %d iter %d: DelayPS mismatch", g, iter)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
 	}
 }
