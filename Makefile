@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-all bench-smoke fleet-bench fuzz serve-smoke
+.PHONY: all build test verify bench bench-authserve bench-all bench-smoke fleet-bench fuzz serve-smoke
 
 all: build test
 
@@ -36,6 +36,26 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkDdiffs(Naive|Fast)|BenchmarkPairDdiffs|BenchmarkEnvFactor|BenchmarkHalfPeriod' \
 		-benchmem -benchtime 20x ./internal/measure ./internal/silicon ./internal/circuit \
 		| $(GO) run ./cmd/benchjson -o BENCH_measure.json
+	$(MAKE) bench-authserve
+
+# Serving-path perf record: boot `ropuf serve` with a persistent
+# (WAL-backed, fsync-always) store and drive a 1k-device enrollment +
+# verify round through it (BenchmarkAuthserveEnroll/Verify + verify
+# latency percentiles), then run the store-level enroll benchmarks
+# against a 1k-device store (BenchmarkStoreEnrollWAL vs the pre-WAL
+# write-through model BenchmarkStoreEnrollSnapshot). Everything lands in
+# BENCH_authserve.json; the WAL-vs-snapshot pair is the O(record) vs
+# O(shard) complexity claim in numbers.
+bench-authserve:
+	$(GO) build -o /tmp/ropuf-bench ./cmd/ropuf
+	rm -rf /tmp/ropuf-bench-data && mkdir -p /tmp/ropuf-bench-data
+	( /tmp/ropuf-bench serve -addr 127.0.0.1:18081 -data /tmp/ropuf-bench-data & \
+	SRV=$$!; sleep 1; \
+	/tmp/ropuf-bench loadgen -addr http://127.0.0.1:18081 -devices 1024 -rounds 1 \
+		-bench-out "" || { kill $$SRV; exit 1; }; \
+	kill -INT $$SRV; wait $$SRV; \
+	$(GO) test -run xxx -bench 'BenchmarkStoreEnroll' -benchtime 50x ./internal/authserve ) \
+		| $(GO) run ./cmd/benchjson -o BENCH_authserve.json
 
 # Every benchmark in the tree, one iteration each (smoke, not measurement).
 bench-all:
@@ -59,10 +79,15 @@ fuzz:
 
 # End-to-end smoke of the authentication service: boot `ropuf serve` on an
 # ephemeral port with a persistent store, drive it with `ropuf loadgen`,
-# then SIGINT the server and require a clean drain. Both processes write
-# span JSONL files; `ropuf tracestat` must stitch the client and server
-# spans into shared traces (>=99% of traces cross the process boundary)
-# and its report lands in TRACESTAT.txt for the CI artifact.
+# then SIGINT the server and require a clean drain. A second leg proves
+# crash durability end to end: restart on the same data dir, issue a
+# challenge, kill -9 the process, restart again, and require the enrolled
+# fleet to replay from snapshot + WAL while the pre-crash nonce answers
+# 404 (outstanding challenges are deliberately memory-only). Both
+# processes write span JSONL files; `ropuf tracestat` must stitch the
+# client and server spans into shared traces (>=99% of traces cross the
+# process boundary) and its report lands in TRACESTAT.txt for the CI
+# artifact.
 serve-smoke:
 	$(GO) build -o /tmp/ropuf-smoke ./cmd/ropuf
 	rm -rf /tmp/ropuf-smoke-data && mkdir -p /tmp/ropuf-smoke-data
@@ -71,11 +96,26 @@ serve-smoke:
 	SRV=$$!; sleep 1; \
 	/tmp/ropuf-smoke loadgen -addr http://127.0.0.1:18080 -devices 32 -rounds 2 \
 		-trace-out /tmp/ropuf-smoke-data/loadgen.jsonl \
-		-bench-out BENCH_authserve.json || { kill $$SRV; exit 1; }; \
+		-bench-out /tmp/ropuf-smoke-data/BENCH_authserve.json || { kill $$SRV; exit 1; }; \
 	curl -sf http://127.0.0.1:18080/metrics | grep -q 'ropuf_authserve_request_duration_seconds_count{route="verify",code="200"}' \
 		|| { echo "missing verify latency metric"; kill $$SRV; exit 1; }; \
 	curl -sf http://127.0.0.1:18080/healthz | grep -q '"status":"ok"' \
 		|| { echo "healthz not ok under normal load"; kill $$SRV; exit 1; }; \
+	kill -INT $$SRV; wait $$SRV
+	/tmp/ropuf-smoke serve -addr 127.0.0.1:18080 -data /tmp/ropuf-smoke-data & \
+	SRV=$$!; sleep 1; \
+	NONCE=$$(curl -sf -X POST -d '{"id":"dev-0000","k":4}' http://127.0.0.1:18080/v1/challenge \
+		| sed -n 's/.*"challenge_id": *"\([^"]*\)".*/\1/p'); \
+	[ -n "$$NONCE" ] || { echo "restarted server issued no challenge"; kill $$SRV; exit 1; }; \
+	kill -9 $$SRV; wait $$SRV 2>/dev/null || true; \
+	/tmp/ropuf-smoke serve -addr 127.0.0.1:18080 -data /tmp/ropuf-smoke-data & \
+	SRV=$$!; sleep 1; \
+	curl -sf http://127.0.0.1:18080/v1/devices/dev-0000 >/dev/null \
+		|| { echo "enrolled device lost across kill -9 restart"; kill $$SRV; exit 1; }; \
+	CODE=$$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+		-d "{\"id\":\"dev-0000\",\"challenge_id\":\"$$NONCE\",\"response\":\"0000\"}" \
+		http://127.0.0.1:18080/v1/verify); \
+	[ "$$CODE" = 404 ] || { echo "pre-crash nonce answered $$CODE, want 404"; kill $$SRV; exit 1; }; \
 	kill -INT $$SRV; wait $$SRV
 	/tmp/ropuf-smoke tracestat -require-stitched 0.99 \
 		/tmp/ropuf-smoke-data/loadgen.jsonl /tmp/ropuf-smoke-data/authserve.jsonl \

@@ -56,6 +56,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 	concurrency := fs.Int("concurrency", 32, "concurrent client workers")
 	noise := fs.Float64("noise", 2, "re-measurement noise sigma (ps)")
 	seed := fs.Uint64("seed", 1, "fleet fabrication seed")
+	enrollWire := fs.String("enroll-wire", "binary", "enroll request encoding: binary (application/x-ropuf-enroll) or json")
 	benchOut := fs.String("bench-out", "BENCH_authserve.json", "write the perf record here (empty = skip)")
 	trace := fs.String("trace-out", *traceOut, "write client span events as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +66,9 @@ func runLoadgen(ctx context.Context, args []string) error {
 		return err
 	}
 
+	if *enrollWire != "binary" && *enrollWire != "json" {
+		return fmt.Errorf("loadgen: -enroll-wire must be binary or json, got %q", *enrollWire)
+	}
 	devices, err := fleet.Synthetic(*numDevices, *pairs, *stages, *seed)
 	if err != nil {
 		return err
@@ -104,7 +108,17 @@ func runLoadgen(ctx context.Context, args []string) error {
 			req.Pairs = append(req.Pairs, authserve.PairWire{Alpha: p.Alpha, Beta: p.Beta})
 		}
 		var resp authserve.EnrollResponse
-		code, err := lg.postJSON(ctx, "enroll", "/v1/enroll", req, &resp)
+		var code int
+		var err error
+		if *enrollWire == "binary" {
+			var body []byte
+			if body, err = authserve.AppendEnrollBinary(nil, &req); err != nil {
+				return fmt.Errorf("enroll %s: %w", d.ID, err)
+			}
+			code, err = lg.postRaw(ctx, "enroll", "/v1/enroll", authserve.EnrollContentTypeBinary, body, &resp)
+		} else {
+			code, err = lg.postJSON(ctx, "enroll", "/v1/enroll", req, &resp)
+		}
 		switch {
 		case err != nil:
 			return fmt.Errorf("enroll %s: %w", d.ID, err)
@@ -300,11 +314,15 @@ func (lg *loadgen) postJSON(ctx context.Context, route, path string, in, out any
 	if err != nil {
 		return 0, err
 	}
+	return lg.postRaw(ctx, route, path, "application/json", body, out)
+}
+
+func (lg *loadgen) postRaw(ctx context.Context, route, path, contentType string, body []byte, out any) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, lg.base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	return lg.do(ctx, route, req, out)
 }
 

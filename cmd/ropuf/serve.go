@@ -1,8 +1,8 @@
 package main
 
 import (
-	crand "crypto/rand"
 	"context"
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"flag"
@@ -20,18 +20,23 @@ import (
 // /debug/pprof, all on one address. /healthz is SLO-aware: it answers
 // 503 with machine-readable reasons while the error budget (-slo-objective
 // over -slo-window) burns faster than -max-burn-rate, the admission queue
-// is saturated, or store snapshots are failing — and recovers to 200 once
-// the window clears. With -data the device store survives restarts
-// (write-through snapshots); without it the store is in-memory.
-// Ctrl-C / SIGTERM drain gracefully: the listener stops accepting,
-// in-flight requests get -drain to finish, and the store is snapshotted a
-// final time before exit.
+// is saturated, snapshots are failing, or the write-ahead log is stalled —
+// and recovers to 200 once the window clears. With -data the device store
+// survives restarts: every mutation appends a checksummed record to a
+// per-shard write-ahead log (fsynced per -fsync) and restart recovery is
+// snapshot + log replay; a background compactor folds logs past
+// -wal-compact-bytes into the shard snapshots. Without -data the store is
+// in-memory. Ctrl-C / SIGTERM drain gracefully: the listener stops
+// accepting, in-flight requests get -drain to finish, and the logs are
+// folded into final snapshots before exit.
 func runServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
-	dataDir := fs.String("data", "", "snapshot directory (empty = in-memory store)")
+	dataDir := fs.String("data", "", "data directory for snapshots + WALs (empty = in-memory store)")
 	tolerance := fs.Float64("tolerance", 0.10, "accepted Hamming-distance fraction")
 	shards := fs.Int("shards", 16, "device store lock shards")
+	walCompact := fs.Int64("wal-compact-bytes", 4<<20, "per-shard WAL size that triggers background compaction (<0 disables)")
+	fsyncMode := fs.String("fsync", "always", "durability flush policy: always (fsync every WAL append and snapshot) or off (page cache only)")
 	maxInflight := fs.Int("max-inflight", 64, "max concurrently executing requests")
 	maxQueue := fs.Int("max-queue", 256, "max requests queued for an inflight slot (excess get 429)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
@@ -55,12 +60,7 @@ func runServe(ctx context.Context, args []string) error {
 		*seed = binary.LittleEndian.Uint64(buf[:])
 	}
 
-	store, err := authserve.Open(authserve.StoreOptions{
-		Tolerance: *tolerance,
-		Shards:    *shards,
-		Dir:       *dataDir,
-		Seed:      *seed,
-	})
+	fsyncPolicy, err := authserve.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
 		return err
 	}
@@ -68,15 +68,8 @@ func runServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	opt := authserve.ServerOptions{
-		MaxInflight:  *maxInflight,
-		MaxQueue:     *maxQueue,
-		DrainTimeout: *drain,
-		Registry:     obs.NewRegistry(),
-		Logger:       logger,
-		SLO:          obs.SLO{Objective: *sloObjective, Window: *sloWindow},
-		MaxBurnRate:  *maxBurn,
-	}
+	registry := obs.NewRegistry()
+	var tracer *obs.Tracer
 	var traceFile *os.File
 	if *trace != "" {
 		traceFile, err = os.Create(*trace)
@@ -87,7 +80,31 @@ func runServe(ctx context.Context, args []string) error {
 			_ = traceFile.Sync()
 			_ = traceFile.Close()
 		}()
-		opt.Tracer = obs.NewTracer(obs.NewJSONLSink(traceFile), obs.WithService("authserve"))
+		tracer = obs.NewTracer(obs.NewJSONLSink(traceFile), obs.WithService("authserve"))
+	}
+	store, err := authserve.Open(authserve.StoreOptions{
+		Tolerance:    *tolerance,
+		Shards:       *shards,
+		Dir:          *dataDir,
+		Seed:         *seed,
+		CompactBytes: *walCompact,
+		Fsync:        fsyncPolicy,
+		Registry:     registry,
+		Tracer:       tracer,
+	})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	opt := authserve.ServerOptions{
+		MaxInflight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		DrainTimeout: *drain,
+		Registry:     registry,
+		Logger:       logger,
+		SLO:          obs.SLO{Objective: *sloObjective, Window: *sloWindow},
+		MaxBurnRate:  *maxBurn,
+		Tracer:       tracer,
 	}
 	srv := authserve.NewServer(store, opt)
 
@@ -96,7 +113,7 @@ func runServe(ctx context.Context, args []string) error {
 		if a, ok := <-started; ok {
 			persist := "in-memory"
 			if *dataDir != "" {
-				persist = "snapshots in " + *dataDir
+				persist = fmt.Sprintf("WAL+snapshots in %s, fsync %s", *dataDir, fsyncPolicy)
 			}
 			fmt.Fprintf(os.Stderr, "authserve listening on http://%s (%d devices, %s, tolerance %g)\n",
 				a, store.NumDevices(), persist, *tolerance)

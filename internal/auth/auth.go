@@ -104,6 +104,84 @@ func (v *Verifier) Enroll(id string, pairs []core.Pair, mode core.Mode) (*Device
 	return rec, nil
 }
 
+// Record-level apply/rollback API. A durability layer (package authserve's
+// write-ahead log) needs two things the high-level calls don't give it:
+// installing an already-built enrollment during log replay without
+// re-running the selection algorithm, and undoing an in-memory mutation
+// whose durability write failed before anything escaped to the network.
+
+// ApplyEnroll installs a pre-built enrollment with no consumed pairs — the
+// replay path for a logged enrollment. Unlike Enroll it never runs the
+// selection algorithm; the enrollment is trusted as stored. It is
+// idempotent-friendly: re-applying an existing ID fails with
+// ErrDuplicateDevice, which a replayer that may see the same record twice
+// (snapshot written, log not yet truncated) skips with errors.Is.
+func (v *Verifier) ApplyEnroll(id string, enr *core.Enrollment) error {
+	if id == "" {
+		return errors.New("auth: empty device ID")
+	}
+	if enr == nil {
+		return fmt.Errorf("auth: device %q: nil enrollment", id)
+	}
+	if len(enr.Mask) != len(enr.Selections) {
+		return fmt.Errorf("auth: device %q: mask length %d != selections %d", id, len(enr.Mask), len(enr.Selections))
+	}
+	if _, ok := v.devices[id]; ok {
+		return fmt.Errorf("auth: device %q: %w", id, ErrDuplicateDevice)
+	}
+	v.devices[id] = &DeviceRecord{ID: id, Enrollment: enr, used: make([]bool, len(enr.Selections))}
+	return nil
+}
+
+// Unenroll removes a device, reporting whether it existed — the rollback
+// for an Enroll whose durability write failed: the client is told to
+// retry, so the in-memory record must not survive to 409 that retry.
+func (v *Verifier) Unenroll(id string) bool {
+	_, ok := v.devices[id]
+	delete(v.devices, id)
+	return ok
+}
+
+// MarkUsed consumes the given pair indices — the replay path for a logged
+// challenge issuance. Marking an already-consumed pair is a no-op, so
+// replaying a log over a snapshot that already contains its effects
+// converges instead of double-counting.
+func (v *Verifier) MarkUsed(id string, pairs []int) error {
+	rec, ok := v.devices[id]
+	if !ok {
+		return fmt.Errorf("auth: %w %q", ErrUnknownDevice, id)
+	}
+	for _, i := range pairs {
+		if i < 0 || i >= len(rec.used) {
+			return fmt.Errorf("auth: device %q: pair index %d outside [0, %d)", id, i, len(rec.used))
+		}
+	}
+	for _, i := range pairs {
+		rec.used[i] = true
+	}
+	return nil
+}
+
+// UnmarkUsed returns pair indices to the fresh pool — the rollback for a
+// NewChallenge whose durability write failed. It is only sound when the
+// challenge never left the process: the pairs were consumed in memory but
+// no bits were exposed, so re-issuing them later leaks nothing.
+func (v *Verifier) UnmarkUsed(id string, pairs []int) error {
+	rec, ok := v.devices[id]
+	if !ok {
+		return fmt.Errorf("auth: %w %q", ErrUnknownDevice, id)
+	}
+	for _, i := range pairs {
+		if i < 0 || i >= len(rec.used) {
+			return fmt.Errorf("auth: device %q: pair index %d outside [0, %d)", id, i, len(rec.used))
+		}
+	}
+	for _, i := range pairs {
+		rec.used[i] = false
+	}
+	return nil
+}
+
 // NumFresh returns how many unconsumed pairs a device still has.
 func (v *Verifier) NumFresh(id string) (int, error) {
 	rec, ok := v.devices[id]

@@ -1,0 +1,62 @@
+package authserve
+
+import (
+	"fmt"
+	"testing"
+
+	"ropuf/internal/core"
+	"ropuf/internal/fleet"
+)
+
+// benchmarkStoreEnroll measures the durable-enroll cost against a store
+// preloaded with 1024 devices (the acceptance scale for the WAL work).
+// writeThrough=false is the shipping path: one O(record) WAL append +
+// fsync per enroll. writeThrough=true re-runs the pre-WAL durability
+// model on the same store — every enroll rewrites the device's whole
+// shard snapshot, O(shard) and growing with fleet size — so the two
+// numbers side by side in BENCH_authserve.json pin the complexity claim.
+func benchmarkStoreEnroll(b *testing.B, writeThrough bool) {
+	// A small pool of fabricated silicon is enough: enroll cost depends on
+	// pair count, not on which pairs, so iterations reuse pool pairs under
+	// fresh device IDs instead of fabricating b.N devices.
+	pool, err := fleet.Synthetic(64, 16, 13, 0xBE9C)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := Open(StoreOptions{Shards: 16, Dir: b.TempDir(), CompactBytes: -1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	for i := 0; i < 1024; i++ {
+		if _, err := store.Enroll(fmt.Sprintf("seed-%04d", i), pool[i%len(pool)].Pairs, core.Case2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Fold the preload so both variants start identically: 1024 devices in
+	// shard snapshots, empty logs.
+	if err := store.SaveAll(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%08d", i)
+		if _, err := store.Enroll(id, pool[i%len(pool)].Pairs, core.Case2); err != nil {
+			b.Fatal(err)
+		}
+		if writeThrough {
+			sh := store.shardFor(id)
+			sh.mu.Lock()
+			err := sh.persistLocked()
+			sh.mu.Unlock()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkStoreEnrollWAL(b *testing.B)      { benchmarkStoreEnroll(b, false) }
+func BenchmarkStoreEnrollSnapshot(b *testing.B) { benchmarkStoreEnroll(b, true) }

@@ -106,6 +106,7 @@ type Server struct {
 
 	burn     *obs.BurnTracker // error-budget burn over the request series
 	snapBurn *obs.BurnTracker // snapshot failures over the same window
+	walBurn  *obs.BurnTracker // WAL append failures over the same window
 	degraded atomic.Bool      // last /healthz verdict, for transition logs
 
 	// testHookInflight, when set (tests only), runs inside each admitted
@@ -144,6 +145,11 @@ func NewServer(store *Store, opt ServerOptions) *Server {
 	s.snapBurn = obs.NewBurnTracker(obs.SLO{Objective: 0.5, Window: opt.SLO.Window},
 		func() (float64, float64) {
 			f := float64(store.SnapshotFailures())
+			return f, f
+		})
+	s.walBurn = obs.NewBurnTracker(obs.SLO{Objective: 0.5, Window: opt.SLO.Window},
+		func() (float64, float64) {
+			f := float64(store.WALFailures())
 			return f, f
 		})
 	return s
@@ -191,6 +197,26 @@ func (s *Server) Health() []obs.HealthReason {
 				snap.Errors, snap.Window),
 			Value: snap.Errors,
 		})
+	}
+	// wal_stalled fires on either face of a stuck log: appends failing
+	// (every one failed a mutating request) or the compaction backlog
+	// running far past the threshold (recovery time growing unbounded).
+	if wal := s.walBurn.Report(); wal.Errors > 0 {
+		reasons = append(reasons, obs.HealthReason{
+			Code: "wal_stalled",
+			Detail: fmt.Sprintf("%.0f WAL durability writes failed within %s; mutations are failing",
+				wal.Errors, wal.Window),
+			Value: wal.Errors,
+		})
+	} else if thr := s.store.CompactBytes(); thr > 0 {
+		if backlog := s.store.WALBacklogBytes(); backlog >= 4*thr {
+			reasons = append(reasons, obs.HealthReason{
+				Code: "wal_stalled",
+				Detail: fmt.Sprintf("WAL backlog %d bytes is ≥4× the %d-byte compaction threshold; compactor not keeping up",
+					backlog, thr),
+				Value: float64(backlog),
+			})
+		}
 	}
 	return reasons
 }
@@ -333,7 +359,12 @@ func (s *Server) inStore(ctx context.Context, op string, fn func() error) error 
 
 func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	var req EnrollRequest
-	if !decode(w, r, &req) {
+	if r.Header.Get("Content-Type") == EnrollContentTypeBinary {
+		if err := decodeEnrollBinary(r.Body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else if !decode(w, r, &req) {
 		return
 	}
 	var mode core.Mode
@@ -430,13 +461,16 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // writeStoreError maps store/auth errors onto the v1 status-code contract:
 // unknown device or challenge → 404, duplicate enrollment or exhausted
-// challenge pool → 409, anything else (validation) → 400.
+// challenge pool → 409, a failed durability write (rolled back, retryable)
+// → 500, anything else (validation) → 400.
 func writeStoreError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, auth.ErrUnknownDevice), errors.Is(err, ErrUnknownChallenge):
 		writeError(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, auth.ErrDuplicateDevice), errors.Is(err, auth.ErrExhausted):
 		writeError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, ErrPersist):
+		writeError(w, http.StatusInternalServerError, err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}

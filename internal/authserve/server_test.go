@@ -726,3 +726,53 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestWALStalledHealthAndPersistErrors pins the serving contract around a
+// stuck log: a mutation whose WAL append fails answers 500 (server fault,
+// retryable) — not the 400 the old default error mapping produced —
+// /healthz flips to 503 with a wal_stalled reason, and once appends
+// succeed again and the failures age out of the window the endpoint
+// recovers to 200.
+func TestWALStalledHealthAndPersistErrors(t *testing.T) {
+	devices, _ := testFleet(t, 2, 8)
+	srv, ts := newTestServer(t,
+		StoreOptions{Dir: t.TempDir(), Shards: 1, CompactBytes: -1},
+		ServerOptions{SLO: obs.SLO{Window: 300 * time.Millisecond}})
+	c := ts.Client()
+	if code, body := post(t, c, ts.URL+"/v1/enroll", enrollBody(devices[0])); code != http.StatusOK {
+		t.Fatalf("healthy enroll = %d %s", code, body)
+	}
+
+	sh := srv.store.shards[0]
+	sh.mu.Lock()
+	sh.wal.failAppends = true
+	sh.mu.Unlock()
+	code, body := post(t, c, ts.URL+"/v1/enroll", enrollBody(devices[1]))
+	if code != http.StatusInternalServerError {
+		t.Fatalf("enroll with stuck WAL = %d %s, want 500", code, body)
+	}
+	code, body = get(t, c, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "wal_stalled") {
+		t.Fatalf("/healthz with stuck WAL = %d %s, want 503 wal_stalled", code, body)
+	}
+
+	// Unstick the log: the failed enroll retries cleanly (the rollback
+	// satellite — no 409 from a ghost enrollment) and health recovers.
+	sh.mu.Lock()
+	sh.wal.failAppends = false
+	sh.mu.Unlock()
+	if code, body := post(t, c, ts.URL+"/v1/enroll", enrollBody(devices[1])); code != http.StatusOK {
+		t.Fatalf("retry after WAL recovery = %d %s", code, body)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		code, body = get(t, c, ts.URL+"/healthz")
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/healthz never recovered after WAL unstuck: %d %s", code, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

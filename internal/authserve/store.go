@@ -1,44 +1,66 @@
 // Package authserve turns the in-process auth.Verifier into a network
-// service: a concurrent-safe sharded device store with crash-safe snapshot
-// persistence (store.go) and an HTTP JSON API with bounded-queue
-// backpressure, per-route metrics/spans, and graceful drain (server.go).
+// service: a concurrent-safe sharded device store with WAL-backed crash
+// recovery (store.go, wal.go, compact.go) and an HTTP JSON API with
+// bounded-queue backpressure, per-route metrics/spans, and graceful drain
+// (server.go).
 //
 // # Concurrency model
 //
 // auth.Verifier is documented as not safe for concurrent use, so the store
 // never shares one across goroutines. Devices are partitioned by an FNV-1a
 // hash of their ID into N shards; each shard owns one Verifier (plus the
-// outstanding-challenge table for its devices) behind its own RWMutex.
-// Operations on different shards never contend; operations on one shard
-// serialize, which is exactly the Verifier's contract.
+// outstanding-challenge table and write-ahead log for its devices) behind
+// its own RWMutex. Operations on different shards never contend;
+// operations on one shard serialize, which is exactly the Verifier's
+// contract.
 //
 // # Durability model
 //
 // With a data directory configured, every mutation (enroll, challenge
-// issuance) rewrites the owning shard's snapshot — auth.Save output
-// written to a temp file and renamed into place, so a crash leaves either
-// the old or the new snapshot, never a torn one — *before* the call
-// returns. Consumed-pair state is therefore durable by the time a
-// challenge reaches the network: a device re-challenged after a crash can
-// never be asked to re-expose bits it already revealed. Outstanding
-// challenge IDs are deliberately NOT persisted: a restart invalidates
-// every issued-but-unverified challenge, so responses to pre-crash
-// challenges are rejected.
+// issuance) appends one checksummed record to the owning shard's
+// write-ahead log and fsyncs it (policy permitting) *before* the call
+// returns — O(record) work, not the O(shard) snapshot rewrite this
+// replaced. If the append fails, the in-memory mutation is rolled back
+// before the error is returned, so a client that retries after a
+// durability failure does not collide with a ghost of its failed call.
+// Consumed-pair state is therefore durable by the time a challenge
+// reaches the network: a device re-challenged after a crash can never be
+// asked to re-expose bits it already revealed.
+//
+// Recovery at Open is snapshot + log replay: load the shard snapshot if
+// one exists, then re-apply the log's records, truncating any torn tail
+// (a record cut short by the crash) first. Replay is idempotent — an
+// enroll record whose device is already in the snapshot is skipped, a
+// consume record re-marks already-consumed pairs — so the crash window
+// between a compaction's snapshot rename and its log truncation is safe.
+// A background compactor (compact.go) folds logs past a size threshold
+// into the auth.Save snapshot format: snapshot is written durably first
+// (temp file, fsync, rename, directory fsync — under FsyncAlways the
+// crash leaves either the old or the new snapshot, both with enough log
+// to reconstruct the state), then the log is truncated.
+//
+// Outstanding challenge IDs are deliberately NOT persisted: a restart
+// invalidates every issued-but-unverified challenge, so responses to
+// pre-crash challenges are rejected.
 package authserve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ropuf/internal/auth"
 	"ropuf/internal/bits"
 	"ropuf/internal/core"
+	"ropuf/internal/obs"
 	"ropuf/internal/rngx"
 )
 
@@ -48,6 +70,12 @@ import (
 // on purpose: a replayed response must learn nothing.
 var ErrUnknownChallenge = errors.New("authserve: unknown or already-used challenge")
 
+// ErrPersist reports a mutation whose durability write (WAL append)
+// failed. The in-memory effect was rolled back before the error was
+// returned, so the same call can simply be retried; the HTTP layer maps
+// this to a 500, never to the 4xx validation contract.
+var ErrPersist = errors.New("authserve: durability write failed")
+
 // StoreOptions configures Open.
 type StoreOptions struct {
 	// Tolerance is the accepted Hamming-distance fraction (see
@@ -55,13 +83,28 @@ type StoreOptions struct {
 	Tolerance float64
 	// Shards is the number of lock shards; defaults to 16.
 	Shards int
-	// Dir, when non-empty, enables snapshot persistence in that directory
-	// (created if absent). Empty means in-memory only.
+	// Dir, when non-empty, enables WAL-backed persistence in that
+	// directory (created if absent). Empty means in-memory only.
 	Dir string
 	// Seed feeds the deterministic RNG used for challenge pair selection
 	// and challenge IDs. Defaults to 1; serving binaries should pass a
 	// random seed (see cmd/ropuf serve).
 	Seed uint64
+	// CompactBytes is the per-shard WAL size at which the background
+	// compactor folds the log into the shard snapshot. 0 means the
+	// 4 MiB default; negative disables background compaction (the log
+	// still folds at SaveAll / graceful drain).
+	CompactBytes int64
+	// Fsync selects the durability flush policy for WAL appends and
+	// snapshot writes. The zero value is FsyncAlways.
+	Fsync FsyncPolicy
+	// Registry, when non-nil, receives the WAL metrics (fsync latency,
+	// record/byte counters, log size, compactions). Nil means a private
+	// registry.
+	Registry *obs.Registry
+	// Tracer, when non-nil, emits an authserve.wal_replay span covering
+	// startup recovery.
+	Tracer *obs.Tracer
 }
 
 func (o StoreOptions) withDefaults() StoreOptions {
@@ -73,6 +116,12 @@ func (o StoreOptions) withDefaults() StoreOptions {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 4 << 20
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
 	}
 	return o
 }
@@ -90,25 +139,54 @@ type DeviceInfo struct {
 type Store struct {
 	opt    StoreOptions
 	shards []*shard
-	// snapshotFailures counts persistLocked errors; /healthz degrades when
-	// failures land inside its rolling window (the store keeps serving from
-	// memory, but durability is compromised).
+	// snapshotFailures counts failed snapshot writes (compaction and
+	// SaveAll); /healthz degrades when failures land inside its rolling
+	// window.
 	snapshotFailures atomic.Int64
+	// walFailures counts failed WAL appends/resets; every one of them
+	// made a mutating request fail, so /healthz reports wal_stalled while
+	// they are recent.
+	walFailures atomic.Int64
+
+	walFsyncDur *obs.Histogram
+	walRecords  *obs.CounterVec
+	walBytes    *obs.Counter
+	compactions *obs.Counter
+
+	compact   *compactor
+	closeOnce sync.Once
+	closeErr  error
+
+	// testCrashBeforeWALReset (tests only) aborts a compaction after the
+	// snapshot is durably in place but before the WAL is truncated —
+	// exactly the kill -9 window replay idempotency has to cover.
+	testCrashBeforeWALReset bool
 }
 
 // SnapshotFailures returns the cumulative count of failed shard snapshot
 // writes since the store was opened.
 func (s *Store) SnapshotFailures() int64 { return s.snapshotFailures.Load() }
 
-// persist snapshots one shard (whose lock the caller holds), counting
-// failures for health reporting.
-func (s *Store) persist(sh *shard) error {
-	err := sh.persistLocked()
-	if err != nil {
-		s.snapshotFailures.Add(1)
+// WALFailures returns the cumulative count of failed WAL appends and
+// resets since the store was opened. Each one failed a mutating call.
+func (s *Store) WALFailures() int64 { return s.walFailures.Load() }
+
+// WALBacklogBytes returns the largest per-shard WAL size — the compaction
+// backlog. A backlog far past CompactBytes means the compactor is not
+// keeping up (or is disabled while the log grows unbounded).
+func (s *Store) WALBacklogBytes() int64 {
+	var max int64
+	for _, sh := range s.shards {
+		if n := sh.walSize.Load(); n > max {
+			max = n
+		}
 	}
-	return err
+	return max
 }
+
+// CompactBytes returns the per-shard WAL compaction threshold (negative =
+// background compaction disabled).
+func (s *Store) CompactBytes() int64 { return s.opt.CompactBytes }
 
 type shard struct {
 	mu          sync.RWMutex
@@ -116,6 +194,11 @@ type shard struct {
 	nonceRNG    *rngx.RNG
 	outstanding map[string]*auth.Challenge // challenge ID -> issued challenge
 	path        string                     // snapshot file; "" = persistence off
+	wal         *wal                       // append-only mutation log; nil = persistence off
+	syncWrites  bool                       // fsync snapshot files + parent dir (FsyncAlways)
+	// walSize mirrors wal.size for lock-free reads (metrics, compaction
+	// backlog checks); the authoritative value lives in wal under mu.
+	walSize atomic.Int64
 }
 
 type manifestJSON struct {
@@ -126,13 +209,36 @@ type manifestJSON struct {
 
 const manifestVersion = 1
 
-// Open creates the store, loading any existing shard snapshots from
-// opt.Dir. The shard count and tolerance are fixed at first creation (they
-// determine device placement and the meaning of stored verdicts); opening
-// an existing directory with different options fails.
+// Open creates the store, recovering state from opt.Dir: each shard loads
+// its snapshot (if any), then replays its write-ahead log over it. The
+// shard count and tolerance are fixed at first creation (they determine
+// device placement and the meaning of stored verdicts); opening an
+// existing directory with different options fails.
 func Open(opt StoreOptions) (*Store, error) {
 	opt = opt.withDefaults()
 	s := &Store{opt: opt, shards: make([]*shard, opt.Shards)}
+	reg := opt.Registry
+	s.walFsyncDur = reg.NewHistogram("ropuf_authserve_wal_fsync_duration_seconds",
+		"Latency of the per-record WAL fsync on the mutation path.", nil)
+	s.walRecords = reg.NewCounterVec("ropuf_authserve_wal_records_total",
+		"WAL records appended, by record type.", "type")
+	s.walBytes = reg.NewCounter("ropuf_authserve_wal_appended_bytes_total",
+		"Bytes appended to shard WALs (headers included).")
+	s.compactions = reg.NewCounter("ropuf_authserve_wal_compactions_total",
+		"Shard WALs folded into their snapshot.")
+	reg.NewGaugeFunc("ropuf_authserve_wal_size_bytes",
+		"Total bytes across all shard WALs awaiting compaction.",
+		func() float64 {
+			var n int64
+			for _, sh := range s.shards {
+				n += sh.walSize.Load()
+			}
+			return float64(n)
+		})
+	reg.NewCounterFunc("ropuf_authserve_wal_append_failures_total",
+		"WAL appends/resets that failed (each failed a mutating request).",
+		func() float64 { return float64(s.walFailures.Load()) })
+
 	if opt.Dir != "" {
 		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("authserve: data dir: %w", err)
@@ -141,11 +247,14 @@ func Open(opt StoreOptions) (*Store, error) {
 			return nil, err
 		}
 	}
+	_, span := opt.Tracer.Start(context.Background(), "authserve.wal_replay")
+	var replayed, tornBytes, restored int64
 	parent := rngx.New(opt.Seed)
 	for i := range s.shards {
 		sh := &shard{
 			nonceRNG:    parent.Split(),
 			outstanding: make(map[string]*auth.Challenge),
+			syncWrites:  opt.Fsync == FsyncAlways,
 		}
 		if opt.Dir != "" {
 			sh.path = filepath.Join(opt.Dir, fmt.Sprintf("shard-%04d.json", i))
@@ -172,9 +281,78 @@ func Open(opt StoreOptions) (*Store, error) {
 			}
 			sh.v = v
 		}
+		if opt.Dir != "" {
+			w, recs, torn, err := openWAL(walPathFor(opt.Dir, i), opt.Fsync)
+			if err != nil {
+				return nil, err
+			}
+			w.onFsync = func(d time.Duration) { s.walFsyncDur.Observe(d.Seconds()) }
+			if err := replayWAL(sh.v, recs, w.path); err != nil {
+				w.close()
+				return nil, err
+			}
+			sh.wal = w
+			sh.walSize.Store(w.size)
+			replayed += int64(len(recs))
+			tornBytes += torn
+		}
+		restored += int64(sh.v.NumDevices())
 		s.shards[i] = sh
 	}
+	span.SetAttr("records", strconv.FormatInt(replayed, 10))
+	span.SetAttr("torn_bytes", strconv.FormatInt(tornBytes, 10))
+	span.SetAttr("devices", strconv.FormatInt(restored, 10))
+	span.End()
+	if opt.Dir != "" && opt.CompactBytes > 0 {
+		s.compact = s.startCompactor()
+	}
 	return s, nil
+}
+
+// replayWAL re-applies one shard's recovered records. Replay must be
+// idempotent against the shard snapshot: a compaction crash can leave a
+// snapshot that already contains a prefix of the log (see the package
+// durability model), so duplicate enrolls are skipped and consume records
+// re-mark pairs harmlessly. A consume record for a device in neither the
+// snapshot nor an earlier record, or naming an out-of-range pair, cannot
+// come from any crash ordering and fails recovery loudly.
+func replayWAL(v *auth.Verifier, recs []walRecord, path string) error {
+	for n, rec := range recs {
+		switch rec.typ {
+		case walRecEnroll:
+			enr, err := core.LoadEnrollmentBinary(rec.enr)
+			if err != nil {
+				return fmt.Errorf("authserve: %s record %d (enroll %q): %w", path, n, rec.id, err)
+			}
+			if err := v.ApplyEnroll(rec.id, enr); err != nil && !errors.Is(err, auth.ErrDuplicateDevice) {
+				return fmt.Errorf("authserve: %s record %d: %w", path, n, err)
+			}
+		case walRecConsume:
+			if err := v.MarkUsed(rec.id, rec.pairs); err != nil {
+				return fmt.Errorf("authserve: %s record %d: %w", path, n, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close stops the background compactor and closes the shard WAL files.
+// It does not fold the logs — call SaveAll first for a clean shutdown, or
+// skip it and let the next Open replay them.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		if s.compact != nil {
+			s.compact.stopAndWait()
+		}
+		var errs []error
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			errs = append(errs, sh.wal.close())
+			sh.mu.Unlock()
+		}
+		s.closeErr = errors.Join(errs...)
+	})
+	return s.closeErr
 }
 
 // checkManifest validates an existing manifest against the options, or
@@ -184,7 +362,7 @@ func (s *Store) checkManifest() error {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		m := manifestJSON{Version: manifestVersion, Shards: s.opt.Shards, Tolerance: s.opt.Tolerance}
-		return atomicWriteJSON(path, m)
+		return atomicWriteJSON(path, m, s.opt.Fsync == FsyncAlways)
 	}
 	if err != nil {
 		return fmt.Errorf("authserve: manifest: %w", err)
@@ -205,11 +383,13 @@ func (s *Store) checkManifest() error {
 	return nil
 }
 
-// shardFor routes a device ID to its owning shard.
+// shardFor routes a device ID to its owning shard. The modulo is done in
+// uint32 space: converting the hash to int first would go negative (and
+// panic on the index) for high-bit hashes on 32-bit platforms.
 func (s *Store) shardFor(id string) *shard {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(id))
-	return s.shards[int(h.Sum32())%len(s.shards)]
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
 }
 
 // Tolerance returns the store's accepted Hamming-distance fraction.
@@ -218,8 +398,28 @@ func (s *Store) Tolerance() float64 { return s.opt.Tolerance }
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
+// appendLocked logs one mutation record on a shard whose lock the caller
+// holds, fsyncing per policy, and kicks the compactor when the log passes
+// the threshold. The caller rolls back its in-memory mutation on error.
+func (s *Store) appendLocked(sh *shard, payload []byte, recType string) error {
+	if err := sh.wal.append(payload); err != nil {
+		s.walFailures.Add(1)
+		return fmt.Errorf("%w: %w", ErrPersist, err)
+	}
+	sh.walSize.Store(sh.wal.size)
+	s.walRecords.With(recType).Inc()
+	s.walBytes.Add(walHeaderLen + int64(len(payload)))
+	if s.compact != nil && sh.wal.size >= s.opt.CompactBytes {
+		s.compact.kick()
+	}
+	return nil
+}
+
 // Enroll registers a device and, with persistence enabled, makes the
-// enrollment durable before returning.
+// enrollment durable before returning. If the durability write fails the
+// in-memory enrollment is rolled back, so the client's retry starts clean
+// instead of hitting ErrDuplicateDevice against a record that was never
+// made durable.
 func (s *Store) Enroll(id string, pairs []core.Pair, mode core.Mode) (DeviceInfo, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
@@ -228,10 +428,19 @@ func (s *Store) Enroll(id string, pairs []core.Pair, mode core.Mode) (DeviceInfo
 	if err != nil {
 		return DeviceInfo{}, err
 	}
-	if err := s.persist(sh); err != nil {
-		// The enrollment is in memory but not durable; surface the failure
-		// so the client re-enrolls rather than trusting a lost record.
-		return DeviceInfo{}, err
+	if sh.wal != nil {
+		enc, err := rec.Enrollment.AppendBinary(nil)
+		var payload []byte
+		if err == nil {
+			payload, err = encodeEnrollRecord(id, enc)
+		}
+		if err == nil {
+			err = s.appendLocked(sh, payload, "enroll")
+		}
+		if err != nil {
+			sh.v.Unenroll(id)
+			return DeviceInfo{}, err
+		}
 	}
 	fresh, _ := sh.v.NumFresh(id)
 	return DeviceInfo{
@@ -244,7 +453,10 @@ func (s *Store) Enroll(id string, pairs []core.Pair, mode core.Mode) (DeviceInfo
 
 // Challenge draws a single-use challenge of length k and returns its
 // one-time ID. The consumed-pair state is durable before the challenge is
-// returned; the ID itself is memory-only and dies with the process.
+// returned; the ID itself is memory-only and dies with the process. If
+// the durability write fails the consumption is rolled back — the pairs
+// never left the process, so returning them to the fresh pool leaks
+// nothing and the client's retry can draw again.
 func (s *Store) Challenge(id string, k int) (string, *auth.Challenge, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
@@ -253,11 +465,17 @@ func (s *Store) Challenge(id string, k int) (string, *auth.Challenge, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	if err := s.persist(sh); err != nil {
-		// Pairs are consumed in memory but the consumption is not durable;
-		// withhold the challenge rather than risk re-issuing those pairs
-		// after a crash.
-		return "", nil, err
+	if sh.wal != nil {
+		payload, err := encodeConsumeRecord(id, ch.Pairs)
+		if err == nil {
+			err = s.appendLocked(sh, payload, "consume")
+		}
+		if err != nil {
+			if rerr := sh.v.UnmarkUsed(id, ch.Pairs); rerr != nil {
+				err = errors.Join(err, rerr)
+			}
+			return "", nil, err
+		}
 	}
 	nonce := fmt.Sprintf("%016x%016x", sh.nonceRNG.Uint64(), sh.nonceRNG.Uint64())
 	sh.outstanding[nonce] = ch
@@ -322,22 +540,26 @@ func (s *Store) NumDevices() int {
 	return n
 }
 
-// SaveAll persists every shard (a full snapshot). With write-through
-// persistence this is a no-op safety net run at graceful shutdown; without
-// a data directory it does nothing.
+// SaveAll folds every shard's WAL into its snapshot (a full compaction) —
+// run at graceful shutdown so a restart replays nothing. Without a data
+// directory it does nothing.
 func (s *Store) SaveAll() error {
 	var errs []error
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		errs = append(errs, s.persist(sh))
+		errs = append(errs, s.compactShardLocked(sh))
 		sh.mu.Unlock()
 	}
 	return errors.Join(errs...)
 }
 
-// persistLocked writes the shard's snapshot via temp-file + rename. The
-// caller holds the shard lock. Empty shards are skipped (no file until the
-// first device lands).
+// persistLocked writes the shard's snapshot: temp file, fsync (policy
+// permitting), rename, parent-directory fsync. Under FsyncAlways a crash
+// at any point leaves either the old or the new snapshot durable on disk,
+// never a torn or vanished one — without the file and directory syncs the
+// rename could be reordered after the crash and surface an empty file.
+// The caller holds the shard lock. Empty shards are skipped (no file
+// until the first device lands).
 func (sh *shard) persistLocked() error {
 	if sh.path == "" || sh.v.NumDevices() == 0 {
 		return nil
@@ -352,6 +574,13 @@ func (sh *shard) persistLocked() error {
 		os.Remove(tmp)
 		return fmt.Errorf("authserve: snapshot: %w", err)
 	}
+	if sh.syncWrites {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("authserve: snapshot fsync: %w", err)
+		}
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("authserve: snapshot: %w", err)
@@ -360,23 +589,48 @@ func (sh *shard) persistLocked() error {
 		os.Remove(tmp)
 		return fmt.Errorf("authserve: snapshot: %w", err)
 	}
+	if sh.syncWrites {
+		if err := syncDir(filepath.Dir(sh.path)); err != nil {
+			return fmt.Errorf("authserve: snapshot dir fsync: %w", err)
+		}
+	}
 	return nil
 }
 
 // atomicWriteJSON marshals v and writes it with the same temp-file +
-// rename discipline as shard snapshots.
-func atomicWriteJSON(path string, v any) error {
+// fsync + rename + directory-fsync discipline as shard snapshots.
+func atomicWriteJSON(path string, v any, sync bool) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	if sync {
+		return syncDir(filepath.Dir(path))
 	}
 	return nil
 }

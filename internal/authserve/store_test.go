@@ -2,11 +2,14 @@ package authserve
 
 import (
 	"errors"
+	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"ropuf/internal/auth"
 	"ropuf/internal/bits"
@@ -249,6 +252,10 @@ func TestCorruptSnapshotRejected(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Enrollments land in the WAL; fold it so the snapshots exist.
+	if err := store.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
 	files, err := filepath.Glob(filepath.Join(dir, "shard-*.json"))
 	if err != nil || len(files) == 0 {
 		t.Fatalf("no shard snapshots written: %v %v", files, err)
@@ -269,4 +276,406 @@ func corruptFile(path string) error {
 		return err
 	}
 	return os.WriteFile(path, data[:len(data)/2], 0o644)
+}
+
+// TestEnrollRetryAfterPersistFailure pins the persist-failure bugfix: the
+// pre-WAL store left a failed-durability enrollment in memory, so the
+// client it told to re-enroll then hit ErrDuplicateDevice forever. The
+// WAL append is now the atomicity point — on failure the in-memory
+// enrollment rolls back and the retry starts clean.
+func TestEnrollRetryAfterPersistFailure(t *testing.T) {
+	dir := t.TempDir()
+	devices, err := fleet.Synthetic(1, 8, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := devices[0]
+	opt := StoreOptions{Shards: 2, Dir: dir, CompactBytes: -1}
+	store, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	sh := store.shardFor(d.ID)
+	sh.wal.failAppends = true
+	if _, err := store.Enroll(d.ID, d.Pairs, core.Case2); !errors.Is(err, ErrPersist) {
+		t.Fatalf("enroll with failing WAL = %v, want ErrPersist", err)
+	}
+	if store.WALFailures() == 0 {
+		t.Fatal("WAL failure not counted for health reporting")
+	}
+	// No ghost: the device must be unknown, not half-enrolled.
+	if _, err := store.Device(d.ID); !errors.Is(err, auth.ErrUnknownDevice) {
+		t.Fatalf("device after failed enroll = %v, want ErrUnknownDevice", err)
+	}
+
+	sh.wal.failAppends = false
+	if _, err := store.Enroll(d.ID, d.Pairs, core.Case2); err != nil {
+		t.Fatalf("retry after persist failure = %v (the pre-WAL store answered ErrDuplicateDevice here)", err)
+	}
+	// The retried enrollment is durable: a crash-reopen still has it.
+	restored, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if _, err := restored.Device(d.ID); err != nil {
+		t.Fatalf("retried enrollment lost in crash: %v", err)
+	}
+}
+
+// TestChallengeRollbackOnPersistFailure audits Challenge's analogous
+// path: a challenge whose consume record cannot be made durable must not
+// burn the pairs (they never left the process) and must not be issued.
+func TestChallengeRollbackOnPersistFailure(t *testing.T) {
+	dir := t.TempDir()
+	devices, err := fleet.Synthetic(1, 8, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := devices[0]
+	store, err := Open(StoreOptions{Shards: 2, Dir: dir, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := store.Enroll(d.ID, d.Pairs, core.Case2); err != nil {
+		t.Fatal(err)
+	}
+	before, err := store.Device(d.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sh := store.shardFor(d.ID)
+	sh.wal.failAppends = true
+	if _, _, err := store.Challenge(d.ID, 2); !errors.Is(err, ErrPersist) {
+		t.Fatalf("challenge with failing WAL = %v, want ErrPersist", err)
+	}
+	after, err := store.Device(d.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Fresh != before.Fresh {
+		t.Fatalf("fresh %d after failed challenge, want %d (pairs burned without durability)", after.Fresh, before.Fresh)
+	}
+	if after.Outstanding != 0 {
+		t.Fatalf("%d outstanding challenges after failed issuance", after.Outstanding)
+	}
+
+	sh.wal.failAppends = false
+	if _, _, err := store.Challenge(d.ID, 2); err != nil {
+		t.Fatalf("challenge retry = %v", err)
+	}
+	final, _ := store.Device(d.ID)
+	if final.Fresh != before.Fresh-2 {
+		t.Fatalf("fresh %d after successful challenge, want %d", final.Fresh, before.Fresh-2)
+	}
+}
+
+// TestShardForHighBitIDs pins the uint32 routing arithmetic: with
+// int(h.Sum32()) % n the modulo goes negative for high-bit hashes where
+// int is 32 bits, and s.shards[negative] panics. Routing must agree with
+// pure uint32 arithmetic for IDs whose hash has the top bit set.
+func TestShardForHighBitIDs(t *testing.T) {
+	const shards = 3 // not a power of two, so a sign flip changes the result
+	store, err := Open(StoreOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i := 0; i < 10000 && found < 16; i++ {
+		id := fmt.Sprintf("dev-%04d", i)
+		h := fnv.New32a()
+		h.Write([]byte(id))
+		sum := h.Sum32()
+		if sum < 1<<31 {
+			continue
+		}
+		found++
+		if got, want := store.shardFor(id), store.shards[sum%uint32(shards)]; got != want {
+			t.Fatalf("shardFor(%q) routed to the wrong shard for high-bit hash %#x", id, sum)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no device IDs with high-bit FNV-1a hashes in the probe range")
+	}
+}
+
+// TestMidCompactionCrashRestart extends the kill -9 durability guarantee
+// into the compaction window: the snapshot has been durably renamed but
+// the WAL not yet truncated, so recovery replays the full log over a
+// snapshot that already contains it. Replay idempotency must converge to
+// the same state, not double-apply or reject.
+func TestMidCompactionCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	devices, err := fleet.Synthetic(6, 16, 7, 0xC0DE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := StoreOptions{Shards: 2, Dir: dir, Seed: 5, CompactBytes: -1}
+	store, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	freshBefore := map[string]int{}
+	for _, d := range devices {
+		if _, err := store.Enroll(d.ID, d.Pairs, core.Case2); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := store.Challenge(d.ID, 4); err != nil {
+			t.Fatal(err)
+		}
+		info, err := store.Device(d.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshBefore[d.ID] = info.Fresh
+	}
+
+	// Crash inside the compaction: snapshot durable, WAL untouched.
+	store.testCrashBeforeWALReset = true
+	if err := store.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "shard-*.json"))
+	if len(snaps) == 0 {
+		t.Fatal("compaction wrote no snapshots")
+	}
+	walBytes := int64(0)
+	wals, _ := filepath.Glob(filepath.Join(dir, "shard-*.wal"))
+	for _, w := range wals {
+		fi, err := os.Stat(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walBytes += fi.Size()
+	}
+	if walBytes == 0 {
+		t.Fatal("WAL already truncated — the mid-compaction crash hook did not fire")
+	}
+
+	check := func(s *Store, phase string) {
+		t.Helper()
+		if got := s.NumDevices(); got != len(devices) {
+			t.Fatalf("%s: %d devices, want %d", phase, got, len(devices))
+		}
+		for _, d := range devices {
+			info, err := s.Device(d.ID)
+			if err != nil {
+				t.Fatalf("%s: device %s: %v", phase, d.ID, err)
+			}
+			if info.Fresh != freshBefore[d.ID] {
+				t.Fatalf("%s: device %s fresh=%d, want %d", phase, d.ID, info.Fresh, freshBefore[d.ID])
+			}
+		}
+	}
+	restored, err := Open(opt)
+	if err != nil {
+		t.Fatalf("reopening after mid-compaction crash: %v", err)
+	}
+	check(restored, "after mid-compaction crash")
+
+	// Let the restored store finish the interrupted compaction cleanly,
+	// then crash again: snapshot-only recovery must agree too.
+	if err := restored.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	restored.Close()
+	final, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	check(final, "after completed compaction")
+}
+
+// TestWALReplayEquivalence pins that a WAL-backed store recovered from
+// disk is state-equivalent to an identically-driven in-memory store: the
+// log is a faithful encoding of the mutation history, not an
+// approximation of it.
+func TestWALReplayEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	devices, err := fleet.Synthetic(10, 16, 7, 0xFACE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := StoreOptions{Shards: 4, Seed: 9, Dir: dir, CompactBytes: -1}
+	persistent, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer persistent.Close()
+	memory, err := Open(StoreOptions{Shards: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	consumed := map[string]map[int]bool{}
+	for _, d := range devices {
+		consumed[d.ID] = map[int]bool{}
+	}
+	for _, s := range []*Store{persistent, memory} {
+		for _, d := range devices {
+			if _, err := s.Enroll(d.ID, d.Pairs, core.Case2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for round := 0; round < 2; round++ {
+		for _, d := range devices {
+			_, ch, err := persistent.Challenge(d.ID, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range ch.Pairs {
+				consumed[d.ID][p] = true
+			}
+			if _, _, err := memory.Challenge(d.ID, 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Crash the persistent store and recover purely from snapshot-less
+	// WAL replay (CompactBytes < 0, so nothing was ever folded).
+	restored, err := Open(opt)
+	if err != nil {
+		t.Fatalf("recovering from WAL: %v", err)
+	}
+	defer restored.Close()
+	if restored.NumDevices() != memory.NumDevices() {
+		t.Fatalf("restored %d devices, in-memory twin has %d", restored.NumDevices(), memory.NumDevices())
+	}
+	for _, d := range devices {
+		a, err := restored.Device(d.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := memory.Device(d.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Outstanding = 0 // challenges are memory-only by design
+		b.Outstanding = 0
+		if a != b {
+			t.Fatalf("device %s: restored %+v, in-memory twin %+v", d.ID, a, b)
+		}
+	}
+	// The replayed consumed-set is exact: draining the restored store
+	// never re-issues a pre-crash pair.
+	for _, d := range devices {
+		for {
+			_, ch, err := restored.Challenge(d.ID, 3)
+			if errors.Is(err, auth.ErrExhausted) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range ch.Pairs {
+				if consumed[d.ID][p] {
+					t.Fatalf("device %s: consumed pair %d re-issued after replay", d.ID, p)
+				}
+			}
+		}
+	}
+}
+
+// TestBackgroundCompaction drives the store past the WAL threshold and
+// waits for the background compactor to fold the log: the WAL empties,
+// the snapshot appears, and recovery from the folded state is complete.
+func TestBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	devices, err := fleet.Synthetic(8, 16, 7, 0xAB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold far below one enrollment record, so every enroll kicks
+	// the compactor.
+	opt := StoreOptions{Shards: 1, Dir: dir, CompactBytes: 256}
+	store, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	for _, d := range devices {
+		if _, err := store.Enroll(d.ID, d.Pairs, core.Case2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for store.WALBacklogBytes() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("compactor never drained the WAL (backlog %d bytes)", store.WALBacklogBytes())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shard-0000.json")); err != nil {
+		t.Fatalf("no snapshot after compaction: %v", err)
+	}
+	restored, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if got := restored.NumDevices(); got != len(devices) {
+		t.Fatalf("restored %d devices after compaction, want %d", got, len(devices))
+	}
+}
+
+// TestStoreTornWALTailRecovery crashes the store with a torn trailing
+// record on disk: recovery keeps every whole record, drops the tear, and
+// the log accepts new appends afterwards.
+func TestStoreTornWALTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	devices, err := fleet.Synthetic(4, 8, 7, 0x7EA4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := StoreOptions{Shards: 1, Dir: dir, CompactBytes: -1}
+	store, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range devices[:3] {
+		if _, err := store.Enroll(d.ID, d.Pairs, core.Case2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: a partial record the crash never finished writing.
+	f, err := os.OpenFile(filepath.Join(dir, "shard-0000.wal"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	restored, err := Open(opt)
+	if err != nil {
+		t.Fatalf("reopening with torn WAL tail: %v", err)
+	}
+	if got := restored.NumDevices(); got != 3 {
+		t.Fatalf("restored %d devices, want 3", got)
+	}
+	// Appends continue cleanly after the truncation.
+	if _, err := restored.Enroll(devices[3].ID, devices[3].Pairs, core.Case2); err != nil {
+		t.Fatal(err)
+	}
+	restored.Close()
+	final, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	if got := final.NumDevices(); got != 4 {
+		t.Fatalf("post-tear enroll lost: %d devices, want 4", got)
+	}
 }

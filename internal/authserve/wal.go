@@ -1,0 +1,337 @@
+package authserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Per-shard write-ahead log. Every mutation (enroll, challenge-consume)
+// appends one fixed-format record and — under FsyncAlways — fsyncs before
+// the store call returns, making durability O(record) instead of the old
+// O(shard) snapshot rewrite. Recovery is snapshot + log replay; a
+// background compactor (compact.go) folds a grown log back into the
+// snapshot.
+//
+// # Wire format
+//
+// A WAL file is a sequence of records, nothing else (no file header):
+//
+//	offset 0: payload length  uint32 little-endian, in [1, walMaxPayload]
+//	offset 4: payload CRC32-C uint32 little-endian (Castagnoli)
+//	offset 8: payload
+//
+// payload:
+//
+//	offset 0: record type     byte (walRecEnroll | walRecConsume)
+//	offset 1: device-ID length uint16 little-endian
+//	offset 3: device ID
+//	then, for walRecEnroll:  the device's binary core.Enrollment (rest)
+//	then, for walRecConsume: pair count uint32le, then count × uint32le indices
+//
+// # Torn-tail rule
+//
+// A crash can tear the last record: fewer than 8 header bytes, a length
+// running past EOF, a zero length (preallocated/zeroed tail), or a
+// checksum mismatch. All of these end the valid prefix — recovery keeps
+// every record before the tear, truncates the file to the prefix, and
+// appends continue from there. A record whose checksum verifies but whose
+// payload does not parse is NOT a tear; it means corruption (or a foreign
+// file) beyond what truncation may silently discard, and recovery fails
+// loudly instead of dropping committed state.
+
+// FsyncPolicy selects how aggressively the store flushes durability
+// writes (WAL appends, snapshot files, and their parent directory).
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs every WAL append and snapshot write before the
+	// mutating call returns: a kill -9 or power loss never loses an
+	// acknowledged mutation. This is the default and the only policy the
+	// durability tests certify.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncOff skips fsync everywhere: writes reach the OS page cache
+	// only. A process crash (kill -9) still loses nothing — the kernel
+	// has the data — but power loss can. For benchmarks and bulk loads.
+	FsyncOff
+)
+
+// ParseFsyncPolicy maps the -fsync flag values onto a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return FsyncAlways, nil
+	case "off":
+		return FsyncOff, nil
+	default:
+		return 0, fmt.Errorf("authserve: unknown fsync policy %q (want always or off)", s)
+	}
+}
+
+func (p FsyncPolicy) String() string {
+	if p == FsyncOff {
+		return "off"
+	}
+	return "always"
+}
+
+const (
+	walRecEnroll  byte = 1 // device ID + binary enrollment (core.AppendBinary)
+	walRecConsume byte = 2 // device ID + consumed pair indices
+
+	walHeaderLen  = 8
+	walMaxPayload = 64 << 20 // sanity bound; a real record is ≤ a few hundred KB
+)
+
+var walTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWALBroken reports a WAL whose tail could not be restored after a
+// failed append; further mutations on the shard are refused rather than
+// risk acknowledging writes that replay would discard.
+var ErrWALBroken = errors.New("authserve: WAL broken, shard mutations disabled")
+
+// walRecord is one decoded log record.
+type walRecord struct {
+	typ   byte
+	id    string
+	enr   []byte // walRecEnroll: binary core.Enrollment
+	pairs []int  // walRecConsume: consumed pair indices
+}
+
+// encodeEnrollRecord builds the payload for a logged enrollment.
+func encodeEnrollRecord(id string, enrollment []byte) ([]byte, error) {
+	if len(id) > 0xFFFF {
+		return nil, fmt.Errorf("authserve: device ID %d bytes, WAL limit 65535", len(id))
+	}
+	p := make([]byte, 0, 3+len(id)+len(enrollment))
+	p = append(p, walRecEnroll)
+	p = binary.LittleEndian.AppendUint16(p, uint16(len(id)))
+	p = append(p, id...)
+	p = append(p, enrollment...)
+	return p, nil
+}
+
+// encodeConsumeRecord builds the payload for a logged challenge issuance.
+func encodeConsumeRecord(id string, pairs []int) ([]byte, error) {
+	if len(id) > 0xFFFF {
+		return nil, fmt.Errorf("authserve: device ID %d bytes, WAL limit 65535", len(id))
+	}
+	p := make([]byte, 0, 3+len(id)+4+4*len(pairs))
+	p = append(p, walRecConsume)
+	p = binary.LittleEndian.AppendUint16(p, uint16(len(id)))
+	p = append(p, id...)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(pairs)))
+	for _, i := range pairs {
+		if i < 0 {
+			return nil, fmt.Errorf("authserve: negative pair index %d", i)
+		}
+		p = binary.LittleEndian.AppendUint32(p, uint32(i))
+	}
+	return p, nil
+}
+
+// decodeWALPayload parses a checksum-verified payload. Errors here are
+// corruption, not tears — the caller must fail recovery, not truncate.
+func decodeWALPayload(p []byte) (walRecord, error) {
+	if len(p) < 3 {
+		return walRecord{}, fmt.Errorf("authserve: WAL payload %d bytes, need ≥3", len(p))
+	}
+	rec := walRecord{typ: p[0]}
+	idLen := int(binary.LittleEndian.Uint16(p[1:3]))
+	if 3+idLen > len(p) {
+		return walRecord{}, fmt.Errorf("authserve: WAL device-ID length %d overruns payload", idLen)
+	}
+	rec.id = string(p[3 : 3+idLen])
+	body := p[3+idLen:]
+	switch rec.typ {
+	case walRecEnroll:
+		rec.enr = body
+	case walRecConsume:
+		if len(body) < 4 {
+			return walRecord{}, errors.New("authserve: WAL consume record missing pair count")
+		}
+		n := int(binary.LittleEndian.Uint32(body[:4]))
+		if len(body[4:]) != 4*n {
+			return walRecord{}, fmt.Errorf("authserve: WAL consume record has %d index bytes, count says %d", len(body[4:]), 4*n)
+		}
+		rec.pairs = make([]int, n)
+		for i := range rec.pairs {
+			rec.pairs[i] = int(binary.LittleEndian.Uint32(body[4+4*i : 8+4*i]))
+		}
+	default:
+		return walRecord{}, fmt.Errorf("authserve: unknown WAL record type %d", rec.typ)
+	}
+	return rec, nil
+}
+
+// scanWAL walks the raw log bytes, returning every fully-valid record and
+// the length of the valid prefix. A torn tail (short header, bad length,
+// bad checksum) just ends the scan; a checksum-valid but unparseable
+// payload returns an error with the records decoded so far.
+func scanWAL(data []byte) (recs []walRecord, valid int64, err error) {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) < walHeaderLen {
+			return recs, int64(off), nil // torn or clean EOF
+		}
+		plen := int(binary.LittleEndian.Uint32(rest[:4]))
+		if plen == 0 || plen > walMaxPayload || walHeaderLen+plen > len(rest) {
+			return recs, int64(off), nil // torn length or truncated payload
+		}
+		payload := rest[walHeaderLen : walHeaderLen+plen]
+		if crc32.Checksum(payload, walTable) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return recs, int64(off), nil // torn payload bytes
+		}
+		rec, derr := decodeWALPayload(payload)
+		if derr != nil {
+			return recs, int64(off), derr
+		}
+		recs = append(recs, rec)
+		off += walHeaderLen + plen
+	}
+}
+
+// wal is one shard's open log file. All methods are called with the
+// owning shard's lock held, so there is no internal locking; size is
+// published through the store's atomic counters for lock-free reads.
+type wal struct {
+	f    *os.File
+	path string
+	size int64
+	sync bool // fsync every append (FsyncAlways)
+
+	// broken latches after a failed append whose tail could not be
+	// truncated back to the last good record: appending after a torn
+	// middle would make replay silently drop everything that follows.
+	broken bool
+
+	// onFsync, when set, observes each append's fsync latency.
+	onFsync func(time.Duration)
+
+	// failAppends (tests only) makes every append fail after the
+	// in-memory mutation, exercising the rollback paths.
+	failAppends bool
+}
+
+// openWAL opens (creating if absent) a shard's log, truncates any torn
+// tail, and returns the recovered records for replay plus how many torn
+// bytes were discarded.
+func openWAL(path string, policy FsyncPolicy) (w *wal, recs []walRecord, torn int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, 0, fmt.Errorf("authserve: reading WAL %s: %w", path, err)
+	}
+	recs, valid, err := scanWAL(data)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("authserve: WAL %s corrupt: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("authserve: opening WAL %s: %w", path, err)
+	}
+	if valid < int64(len(data)) {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("authserve: truncating torn WAL tail %s: %w", path, err)
+		}
+	}
+	return &wal{f: f, path: path, size: valid, sync: policy == FsyncAlways}, recs, int64(len(data)) - valid, nil
+}
+
+// append writes one record (header + payload in a single write) and, under
+// FsyncAlways, fsyncs before returning. On failure it truncates the file
+// back to the last committed record so the tail stays clean; if even that
+// fails the log is latched broken and every later append returns
+// ErrWALBroken.
+func (w *wal) append(payload []byte) error {
+	if w.broken {
+		return ErrWALBroken
+	}
+	if w.failAppends {
+		return errors.New("authserve: WAL append failed (test hook)")
+	}
+	rec := make([]byte, walHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, walTable))
+	copy(rec[walHeaderLen:], payload)
+	if _, err := w.f.Write(rec); err != nil {
+		w.restoreTail()
+		return fmt.Errorf("authserve: WAL append: %w", err)
+	}
+	if w.sync {
+		start := time.Now()
+		if err := w.f.Sync(); err != nil {
+			// After a failed fsync the kernel may drop the dirty pages;
+			// nothing past the last *synced* record can be trusted, but
+			// earlier records were each acknowledged only after their own
+			// fsync, so truncating this record alone restores the
+			// committed prefix.
+			w.restoreTail()
+			return fmt.Errorf("authserve: WAL fsync: %w", err)
+		}
+		if w.onFsync != nil {
+			w.onFsync(time.Since(start))
+		}
+	}
+	w.size += int64(len(rec))
+	return nil
+}
+
+// restoreTail truncates back to the last committed record after a failed
+// append, latching the log broken if the truncate itself fails.
+func (w *wal) restoreTail() {
+	if err := w.f.Truncate(w.size); err != nil {
+		w.broken = true
+	}
+}
+
+// reset empties the log after its contents have been folded into a
+// durable snapshot (compaction). The truncate is fsynced under the same
+// policy as appends: a crash right after reset must not resurrect the
+// pre-compaction tail lengths.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		w.broken = true
+		return fmt.Errorf("authserve: WAL reset: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			w.broken = true
+			return fmt.Errorf("authserve: WAL reset fsync: %w", err)
+		}
+	}
+	w.size = 0
+	return nil
+}
+
+func (w *wal) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	return w.f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-created entry
+// survives power loss (a rename is durable only once its directory is).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// walPathFor is the log sibling of a shard snapshot path.
+func walPathFor(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", shard))
+}

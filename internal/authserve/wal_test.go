@@ -1,0 +1,186 @@
+package authserve
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// walFrame frames a payload exactly as wal.append does, so tests can
+// construct files byte-for-byte.
+func walFrame(payload []byte) []byte {
+	rec := make([]byte, walHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, walTable))
+	copy(rec[walHeaderLen:], payload)
+	return rec
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	enrPayload, err := encodeEnrollRecord("dev-high-bit-ÿ", []byte(`{"version":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := decodeWALPayload(enrPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.typ != walRecEnroll || rec.id != "dev-high-bit-ÿ" || string(rec.enr) != `{"version":1}` {
+		t.Fatalf("enroll round-trip = %+v", rec)
+	}
+
+	conPayload, err := encodeConsumeRecord("d", []int{0, 7, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err = decodeWALPayload(conPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.typ != walRecConsume || rec.id != "d" ||
+		len(rec.pairs) != 3 || rec.pairs[0] != 0 || rec.pairs[1] != 7 || rec.pairs[2] != 1<<20 {
+		t.Fatalf("consume round-trip = %+v", rec)
+	}
+
+	if _, err := encodeConsumeRecord("d", []int{-1}); err == nil {
+		t.Fatal("negative pair index encoded")
+	}
+}
+
+// TestScanWALTornTails is the torn-tail truncation table: every way a
+// crash can cut the log short must end the valid prefix without losing
+// the records before it, and genuine corruption (valid checksum, garbage
+// payload) must fail loudly instead.
+func TestScanWALTornTails(t *testing.T) {
+	p1, _ := encodeConsumeRecord("alpha", []int{1, 2})
+	p2, _ := encodeConsumeRecord("beta", []int{3})
+	r1, r2 := walFrame(p1), walFrame(p2)
+	both := append(append([]byte(nil), r1...), r2...)
+
+	corruptChecksum := append([]byte(nil), both...)
+	corruptChecksum[len(r1)+walHeaderLen] ^= 0xFF // flip a byte in r2's payload
+
+	hugeLen := append([]byte(nil), r1...)
+	hugeLen = append(hugeLen, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0)
+
+	zeroLen := append([]byte(nil), r1...)
+	zeroLen = append(zeroLen, make([]byte, walHeaderLen)...) // zeroed preallocated tail
+
+	cases := []struct {
+		name      string
+		data      []byte
+		wantRecs  int
+		wantValid int64
+		wantErr   bool
+	}{
+		{"empty file", nil, 0, 0, false},
+		{"two clean records", both, 2, int64(len(both)), false},
+		{"partial header", both[:len(r1)+3], 1, int64(len(r1)), false},
+		{"partial payload", both[:len(both)-1], 1, int64(len(r1)), false},
+		{"corrupt checksum", corruptChecksum, 1, int64(len(r1)), false},
+		{"insane length", hugeLen, 1, int64(len(r1)), false},
+		{"zeroed tail", zeroLen, 1, int64(len(r1)), false},
+		{"mid-file garbage with valid frame", append(append([]byte(nil), walFrame([]byte{99, 0, 0})...), r1...), 0, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, valid, err := scanWAL(tc.data)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if len(recs) != tc.wantRecs || valid != tc.wantValid {
+				t.Fatalf("got %d records, valid %d; want %d records, valid %d",
+					len(recs), valid, tc.wantRecs, tc.wantValid)
+			}
+		})
+	}
+}
+
+// TestOpenWALTruncatesAndAppends pins the recovery-then-append cycle: a
+// torn tail is physically truncated at open, and new appends continue
+// from the valid prefix so a second recovery sees old + new records.
+func TestOpenWALTruncatesAndAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.wal")
+	p1, _ := encodeConsumeRecord("alpha", []int{1})
+	torn := append(walFrame(p1), 0xAB, 0xCD, 0xEF) // record + torn tail
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w, recs, tornBytes, err := openWAL(path, FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || tornBytes != 3 {
+		t.Fatalf("recovered %d records, %d torn bytes; want 1, 3", len(recs), tornBytes)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != w.size {
+		t.Fatalf("file is %d bytes after truncation, wal thinks %d", fi.Size(), w.size)
+	}
+
+	p2, _ := encodeConsumeRecord("beta", []int{2, 3})
+	if err := w.append(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, tornBytes, err = openWAL(path, FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || tornBytes != 0 {
+		t.Fatalf("after append: %d records, %d torn; want 2, 0", len(recs), tornBytes)
+	}
+	if recs[1].id != "beta" || len(recs[1].pairs) != 2 {
+		t.Fatalf("appended record = %+v", recs[1])
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.wal")
+	w, _, _, err := openWAL(path, FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := encodeConsumeRecord("d", []int{1})
+	if err := w.append(p); err != nil {
+		t.Fatal(err)
+	}
+	if w.size == 0 {
+		t.Fatal("append did not grow the log")
+	}
+	if err := w.reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.size != 0 {
+		t.Fatalf("size %d after reset", w.size)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 0 {
+		t.Fatalf("file %d bytes after reset", fi.Size())
+	}
+	// The log stays usable after a reset.
+	if err := w.append(p); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	_, recs, _, err := openWAL(path, FsyncAlways)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("post-reset append: %d records, %v", len(recs), err)
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{"always": FsyncAlways, "": FsyncAlways, "off": FsyncOff} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

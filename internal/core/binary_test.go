@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// binaryTestPairs fabricates deterministic per-stage delay vectors; the
+// fleet package can't be used here (it imports core).
+func binaryTestPairs(t *testing.T, n, stages int, seed int64) []Pair {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		alpha := make([]float64, stages)
+		beta := make([]float64, stages)
+		for s := 0; s < stages; s++ {
+			alpha[s] = 100 + 10*rng.NormFloat64()
+			beta[s] = 100 + 10*rng.NormFloat64()
+		}
+		pairs[i] = Pair{Alpha: alpha, Beta: beta}
+	}
+	return pairs
+}
+
+// TestBinaryRoundTrip pins binary <-> JSON equivalence: an enrollment
+// encoded with AppendBinary decodes to exactly the state the JSON
+// round-trip produces, including masked pairs and margins.
+func TestBinaryRoundTrip(t *testing.T) {
+	for di := 0; di < 4; di++ {
+		pairs := binaryTestPairs(t, 24, 13, int64(0xB1+di))
+		enr, err := Enroll(pairs, Case2, 0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := enr.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadEnrollmentBinary(data)
+		if err != nil {
+			t.Fatalf("decoding device %d: %v", di, err)
+		}
+
+		var buf bytes.Buffer
+		if err := enr.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		jsonLen := buf.Len()
+		want, err := LoadEnrollment(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reenc, err := got.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromJSON, err := want.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reenc, fromJSON) {
+			t.Fatalf("device %d: binary round-trip diverges from JSON round-trip", di)
+		}
+		if len(data) >= jsonLen {
+			// Not a correctness property, but the codec exists to shrink
+			// WAL records; regressing past JSON size defeats it.
+			t.Fatalf("device %d: binary %d bytes not smaller than JSON's %d", di, len(data), jsonLen)
+		}
+	}
+}
+
+// TestBinaryRejectsCorruption drives the decoder with hostile inputs:
+// every truncation, trailing garbage, and semantic inconsistency must
+// error instead of panicking or silently succeeding.
+func TestBinaryRejectsCorruption(t *testing.T) {
+	enr, err := Enroll(binaryTestPairs(t, 16, 13, 0xB2), Case2, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := enr.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every prefix is truncated somewhere; none may panic or succeed.
+	for n := 0; n < len(valid); n++ {
+		if _, err := LoadEnrollmentBinary(valid[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	cases := map[string][]byte{
+		"json payload":     []byte(`{"version":1}`),
+		"wrong magic":      append([]byte{0x00}, valid[1:]...),
+		"wrong version":    append([]byte{valid[0], 99}, valid[2:]...),
+		"trailing garbage": append(append([]byte(nil), valid...), 0xAA),
+		"bad mode":         append([]byte{valid[0], valid[1], 7}, valid[3:]...),
+	}
+	for name, data := range cases {
+		if _, err := LoadEnrollmentBinary(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+
+	// A flipped response bit breaks the reference-vs-selection check the
+	// JSON loader also enforces.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 1
+	if _, err := LoadEnrollmentBinary(flipped); err == nil ||
+		!strings.Contains(err.Error(), "inconsistent") {
+		t.Errorf("flipped response bit: %v", err)
+	}
+}

@@ -70,33 +70,16 @@ func LoadEnrollment(r io.Reader) (*Enrollment, error) {
 	if in.Version != serializationVersion {
 		return nil, fmt.Errorf("core: unsupported enrollment version %d", in.Version)
 	}
-	mode := Mode(in.Mode)
-	if mode != Case1 && mode != Case2 {
-		return nil, fmt.Errorf("core: invalid mode %d", in.Mode)
-	}
-	if in.Threshold < 0 {
-		return nil, fmt.Errorf("core: negative threshold %g", in.Threshold)
-	}
-	if len(in.Mask) != len(in.Selections) {
-		return nil, fmt.Errorf("core: mask length %d != selections %d", len(in.Mask), len(in.Selections))
-	}
 	resp, err := bits.FromString(in.Response)
 	if err != nil {
 		return nil, fmt.Errorf("core: response bits: %w", err)
 	}
 	e := &Enrollment{
-		Mode:      mode,
+		Mode:      Mode(in.Mode),
 		Threshold: in.Threshold,
 		Mask:      in.Mask,
 		Response:  resp,
 	}
-	kept := 0
-	// A device has one physical ring length, so every stored configuration
-	// must share one stage count n (masked pairs store no configuration and
-	// are exempt). Mixed lengths mean the file was corrupted or hand-edited
-	// and would otherwise surface later as confusing per-pair Evaluate
-	// length errors — or silently mix ring sizes.
-	stageCount := -1
 	for i, sj := range in.Selections {
 		var sel Selection
 		if sj.X != "" {
@@ -108,29 +91,59 @@ func LoadEnrollment(r io.Reader) (*Enrollment, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: selection %d y: %w", i, err)
 			}
-			if len(x) != len(y) {
-				return nil, fmt.Errorf("core: selection %d config lengths differ (%d vs %d)", i, len(x), len(y))
-			}
-			if stageCount == -1 {
-				stageCount = len(x)
-			} else if len(x) != stageCount {
-				return nil, fmt.Errorf("core: selection %d has %d stages but earlier selections have %d (mixed ring sizes)",
-					i, len(x), stageCount)
-			}
 			sel = Selection{X: x, Y: y, Margin: sj.Margin, Bit: sj.Bit}
-		} else if in.Mask[i] {
-			return nil, fmt.Errorf("core: selection %d kept by mask but has no configuration", i)
 		}
 		e.Selections = append(e.Selections, sel)
-		if in.Mask[i] {
+	}
+	if err := validateEnrollment(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// validateEnrollment is the semantic gate every enrollment decoder (JSON
+// above, binary in binary.go) funnels through, so all on-disk formats
+// admit exactly the same states.
+func validateEnrollment(e *Enrollment) error {
+	if e.Mode != Case1 && e.Mode != Case2 {
+		return fmt.Errorf("core: invalid mode %d", int(e.Mode))
+	}
+	if e.Threshold < 0 {
+		return fmt.Errorf("core: negative threshold %g", e.Threshold)
+	}
+	if len(e.Mask) != len(e.Selections) {
+		return fmt.Errorf("core: mask length %d != selections %d", len(e.Mask), len(e.Selections))
+	}
+	// A device has one physical ring length, so every stored configuration
+	// must share one stage count n (masked pairs store no configuration and
+	// are exempt). Mixed lengths mean the file was corrupted or hand-edited
+	// and would otherwise surface later as confusing per-pair Evaluate
+	// length errors — or silently mix ring sizes.
+	stageCount := -1
+	kept := 0
+	for i, sel := range e.Selections {
+		if sel.X != nil {
+			if len(sel.X) != len(sel.Y) {
+				return fmt.Errorf("core: selection %d config lengths differ (%d vs %d)", i, len(sel.X), len(sel.Y))
+			}
+			if stageCount == -1 {
+				stageCount = len(sel.X)
+			} else if len(sel.X) != stageCount {
+				return fmt.Errorf("core: selection %d has %d stages but earlier selections have %d (mixed ring sizes)",
+					i, len(sel.X), stageCount)
+			}
+		} else if e.Mask[i] {
+			return fmt.Errorf("core: selection %d kept by mask but has no configuration", i)
+		}
+		if e.Mask[i] {
 			kept++
 		}
 	}
-	if kept != resp.Len() {
-		return nil, fmt.Errorf("core: mask keeps %d pairs but response has %d bits", kept, resp.Len())
+	if kept != e.Response.Len() {
+		return fmt.Errorf("core: mask keeps %d pairs but response has %d bits", kept, e.Response.Len())
 	}
-	if resp.Len() == 0 {
-		return nil, errors.New("core: enrollment has no bits")
+	if e.Response.Len() == 0 {
+		return errors.New("core: enrollment has no bits")
 	}
 	// Reference bits must match the stored selections' bits.
 	bi := 0
@@ -138,10 +151,10 @@ func LoadEnrollment(r io.Reader) (*Enrollment, error) {
 		if !e.Mask[i] {
 			continue
 		}
-		if resp.Bit(bi) != sel.Bit {
-			return nil, fmt.Errorf("core: response bit %d inconsistent with selection %d", bi, i)
+		if e.Response.Bit(bi) != sel.Bit {
+			return fmt.Errorf("core: response bit %d inconsistent with selection %d", bi, i)
 		}
 		bi++
 	}
-	return e, nil
+	return nil
 }
