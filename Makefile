@@ -39,22 +39,26 @@ bench:
 	$(MAKE) bench-authserve
 
 # Serving-path perf record: boot `ropuf serve` with a persistent
-# (WAL-backed, fsync-always) store and drive a 1k-device enrollment +
-# verify round through it (BenchmarkAuthserveEnroll/Verify + verify
-# latency percentiles), then run the store-level enroll benchmarks
-# against a 1k-device store (BenchmarkStoreEnrollWAL vs the pre-WAL
-# write-through model BenchmarkStoreEnrollSnapshot). Everything lands in
-# BENCH_authserve.json; the WAL-vs-snapshot pair is the O(record) vs
-# O(shard) complexity claim in numbers.
+# (WAL-backed, fsync-always) store and the audit stream on, drive a
+# 1k-device enrollment + verify round through it
+# (BenchmarkAuthserveEnroll/Verify + verify latency percentiles), then
+# run the store-level enroll benchmarks against a 1k-device store
+# (BenchmarkStoreEnrollWAL vs the pre-WAL write-through model
+# BenchmarkStoreEnrollSnapshot) and the audit-on vs audit-off verify
+# handler pair (BenchmarkServerVerifyAuditOn/Off — the steady-state
+# audit overhead budget is <3%, and AuditOn fails outright if any event
+# is dropped). Everything lands in BENCH_authserve.json.
 bench-authserve:
 	$(GO) build -o /tmp/ropuf-bench ./cmd/ropuf
 	rm -rf /tmp/ropuf-bench-data && mkdir -p /tmp/ropuf-bench-data
-	( /tmp/ropuf-bench serve -addr 127.0.0.1:18081 -data /tmp/ropuf-bench-data & \
+	( /tmp/ropuf-bench serve -addr 127.0.0.1:18081 -data /tmp/ropuf-bench-data \
+		-audit-out /tmp/ropuf-bench-data/audit.jsonl & \
 	SRV=$$!; sleep 1; \
 	/tmp/ropuf-bench loadgen -addr http://127.0.0.1:18081 -devices 1024 -rounds 1 \
 		-bench-out "" || { kill $$SRV; exit 1; }; \
 	kill -INT $$SRV; wait $$SRV; \
-	$(GO) test -run xxx -bench 'BenchmarkStoreEnroll' -benchtime 50x ./internal/authserve ) \
+	$(GO) test -run xxx -bench 'BenchmarkStoreEnroll' -benchtime 50x ./internal/authserve; \
+	$(GO) test -run xxx -bench 'BenchmarkServerVerifyAudit' -benchtime 3000x ./internal/authserve ) \
 		| $(GO) run ./cmd/benchjson -o BENCH_authserve.json
 
 # Every benchmark in the tree, one iteration each (smoke, not measurement).
@@ -87,11 +91,17 @@ fuzz:
 # processes write span JSONL files; `ropuf tracestat` must stitch the
 # client and server spans into shared traces (>=99% of traces cross the
 # process boundary) and its report lands in TRACESTAT.txt for the CI
-# artifact.
+# artifact. A final harvest leg plays the adversary: `loadgen -harvest`
+# hammers one device's challenge endpoint until the abuse scorer flags
+# it, asserts GET /v1/audit/flagged lists the device and /healthz
+# degrades with device_abuse, then merges the audit JSONL with both
+# span files via `ropuf audit` (>=99% of traced audit events must match
+# an observed trace) into AUDITSTAT.txt for the CI artifact.
 serve-smoke:
 	$(GO) build -o /tmp/ropuf-smoke ./cmd/ropuf
 	rm -rf /tmp/ropuf-smoke-data && mkdir -p /tmp/ropuf-smoke-data
 	/tmp/ropuf-smoke serve -addr 127.0.0.1:18080 -data /tmp/ropuf-smoke-data \
+		-audit-out /tmp/ropuf-smoke-data/audit.jsonl \
 		-trace-out /tmp/ropuf-smoke-data/authserve.jsonl -log-level info & \
 	SRV=$$!; sleep 1; \
 	/tmp/ropuf-smoke loadgen -addr http://127.0.0.1:18080 -devices 32 -rounds 2 \
@@ -99,6 +109,8 @@ serve-smoke:
 		-bench-out /tmp/ropuf-smoke-data/BENCH_authserve.json || { kill $$SRV; exit 1; }; \
 	curl -sf http://127.0.0.1:18080/metrics | grep -q 'ropuf_authserve_request_duration_seconds_count{route="verify",code="200"}' \
 		|| { echo "missing verify latency metric"; kill $$SRV; exit 1; }; \
+	curl -sf http://127.0.0.1:18080/metrics | grep -q '^ropuf_audit_dropped_total 0' \
+		|| { echo "audit events were dropped under normal load"; kill $$SRV; exit 1; }; \
 	curl -sf http://127.0.0.1:18080/healthz | grep -q '"status":"ok"' \
 		|| { echo "healthz not ok under normal load"; kill $$SRV; exit 1; }; \
 	kill -INT $$SRV; wait $$SRV
@@ -120,3 +132,20 @@ serve-smoke:
 	/tmp/ropuf-smoke tracestat -require-stitched 0.99 \
 		/tmp/ropuf-smoke-data/loadgen.jsonl /tmp/ropuf-smoke-data/authserve.jsonl \
 		| tee TRACESTAT.txt
+	rm -rf /tmp/ropuf-harvest-data && mkdir -p /tmp/ropuf-harvest-data
+	/tmp/ropuf-smoke serve -addr 127.0.0.1:18082 -data /tmp/ropuf-harvest-data \
+		-audit-out /tmp/ropuf-harvest-data/audit.jsonl \
+		-trace-out /tmp/ropuf-harvest-data/authserve.jsonl & \
+	SRV=$$!; sleep 1; \
+	/tmp/ropuf-smoke loadgen -addr http://127.0.0.1:18082 -devices 4 -harvest \
+		-trace-out /tmp/ropuf-harvest-data/loadgen.jsonl -bench-out "" \
+		|| { echo "harvester was not flagged"; kill $$SRV; exit 1; }; \
+	curl -sf http://127.0.0.1:18082/v1/audit/flagged | grep -q '"dev-0000"' \
+		|| { echo "/v1/audit/flagged does not list the harvester"; kill $$SRV; exit 1; }; \
+	curl -s http://127.0.0.1:18082/healthz | grep -q 'device_abuse' \
+		|| { echo "healthz does not report device_abuse"; kill $$SRV; exit 1; }; \
+	kill -INT $$SRV; wait $$SRV
+	/tmp/ropuf-smoke audit -require-matched 0.99 \
+		-spans /tmp/ropuf-harvest-data/loadgen.jsonl,/tmp/ropuf-harvest-data/authserve.jsonl \
+		/tmp/ropuf-harvest-data/audit.jsonl \
+		| tee AUDITSTAT.txt

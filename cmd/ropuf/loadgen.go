@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,8 @@ func runLoadgen(ctx context.Context, args []string) error {
 	enrollWire := fs.String("enroll-wire", "binary", "enroll request encoding: binary (application/x-ropuf-enroll) or json")
 	benchOut := fs.String("bench-out", "BENCH_authserve.json", "write the perf record here (empty = skip)")
 	trace := fs.String("trace-out", *traceOut, "write client span events as JSON lines to this file")
+	harvest := fs.Bool("harvest", false, "adversary mode: hammer one device's challenges until the server's abuse scorer flags it, then exit")
+	harvestTimeout := fs.Duration("harvest-timeout", 30*time.Second, "give up if the harvest flag has not fired after this long")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -145,6 +148,10 @@ func runLoadgen(ctx context.Context, args []string) error {
 		len(devices), enrollElapsed.Round(time.Millisecond),
 		float64(len(devices))/enrollElapsed.Seconds())
 
+	if *harvest {
+		return lg.runHarvest(ctx, devices[0].ID, *harvestTimeout)
+	}
+
 	// Phase 2: draw challenges and precompute honest responses.
 	type verifyJob struct{ req authserve.VerifyRequest }
 	jobMu := sync.Mutex{}
@@ -192,7 +199,10 @@ func runLoadgen(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("prepared %d challenges (%d-bit) in %s\n", len(jobs), *k, prepElapsed.Round(time.Millisecond))
 
-	// Phase 3: hammer verify.
+	// Phase 3: hammer verify. 429s are retried with a capped backoff that
+	// honors the server's Retry-After hint; only a job still throttled
+	// after the last attempt lands in the throttled bucket.
+	bo := backoff{base: 25 * time.Millisecond, cap: 2 * time.Second}
 	var accepted, rejected, throttled, transport atomic.Int64
 	latencies := make([][]time.Duration, *concurrency)
 	next := atomic.Int64{}
@@ -209,7 +219,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 				}
 				t0 := time.Now()
 				var vr authserve.VerifyResponse
-				code, err := lg.postJSON(ctx, "verify", "/v1/verify", jobs[i].req, &vr)
+				code, err := lg.postJSONBackoff(ctx, "verify", "/v1/verify", jobs[i].req, &vr, bo, 8)
 				latencies[w] = append(latencies[w], time.Since(t0))
 				switch {
 				case err != nil:
@@ -338,24 +348,202 @@ func (lg *loadgen) getJSON(ctx context.Context, route, path string, out any) (in
 // as a traceparent header, so the server's spans land in the same trace and
 // `ropuf tracestat` can stitch the two JSONL files (DESIGN.md §9).
 func (lg *loadgen) do(ctx context.Context, route string, req *http.Request, out any) (int, error) {
+	code, _, err := lg.doHdr(ctx, route, req, out)
+	return code, err
+}
+
+// doHdr is do plus the server's parsed Retry-After hint, for callers
+// that back off on 429 instead of hammering a throttling server.
+func (lg *loadgen) doHdr(ctx context.Context, route string, req *http.Request, out any) (int, time.Duration, error) {
 	spanCtx, span := lg.tracer.Start(ctx, "loadgen."+route)
 	defer span.End()
 	obs.Inject(spanCtx, req.Header)
 	resp, err := lg.client.Do(req)
 	if err != nil {
 		span.SetAttr("error", err.Error())
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	span.SetAttr("code", strconv.Itoa(resp.StatusCode))
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
 	if err != nil {
-		return resp.StatusCode, err
+		return resp.StatusCode, retryAfter, err
 	}
 	if resp.StatusCode == http.StatusOK && out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
-			return resp.StatusCode, fmt.Errorf("decoding %s response: %w", req.URL.Path, err)
+			return resp.StatusCode, retryAfter, fmt.Errorf("decoding %s response: %w", req.URL.Path, err)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, retryAfter, nil
+}
+
+// postJSONBackoff posts like postJSON but retries 429 responses up to
+// maxAttempts times with a capped exponential backoff, preferring the
+// server's Retry-After hint over the local schedule. Each 429 seen is
+// counted by the caller only if the final attempt is still throttled —
+// the returned code is the last attempt's status.
+func (lg *loadgen) postJSONBackoff(ctx context.Context, route, path string, in, out any, bo backoff, maxAttempts int) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, lg.base+path, bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		code, retryAfter, err := lg.doHdr(ctx, route, req, out)
+		if err != nil || code != http.StatusTooManyRequests || attempt+1 >= maxAttempts {
+			return code, err
+		}
+		select {
+		case <-ctx.Done():
+			return code, ctx.Err()
+		case <-time.After(bo.delay(attempt, retryAfter)):
+		}
+	}
+}
+
+// backoff computes capped exponential retry delays. The zero value is
+// unusable; pick a base near the expected recovery time and a cap that
+// bounds the worst-case stall per attempt.
+type backoff struct {
+	base time.Duration // delay before the first retry
+	cap  time.Duration // upper bound on any single delay
+}
+
+// delay returns the sleep before retry `attempt` (0-based): base<<attempt,
+// overridden by a longer server-provided Retry-After hint, both clamped
+// to cap. A zero or garbage hint leaves the local schedule in charge.
+func (b backoff) delay(attempt int, retryAfter time.Duration) time.Duration {
+	if attempt > 20 {
+		attempt = 20 // avoid shift overflow; cap clamps long before this
+	}
+	d := b.base << uint(attempt)
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > b.cap {
+		d = b.cap
+	}
+	return d
+}
+
+// parseRetryAfter interprets a Retry-After header value as a delay. Only
+// the delta-seconds form is recognized; HTTP dates and garbage return 0
+// so the local backoff schedule decides.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// runHarvest plays the adversary the abuse scorer exists to catch: it
+// hammers a single enrolled device's challenge endpoint with k=1 draws
+// (maximizing draw count per pair) and answers each with a fixed guess,
+// so both the challenge-rate and verify-fail signals light up. It polls
+// GET /v1/audit/flagged until the device is listed, asserts /healthz
+// reports device_abuse, prints the evidence window as JSON, and exits
+// non-zero if the flag never fires within the timeout.
+func (lg *loadgen) runHarvest(ctx context.Context, target string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	draws, fails := 0, 0
+	start := time.Now()
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		var ch authserve.ChallengeResponse
+		code, err := lg.postJSON(ctx, "challenge", "/v1/challenge", authserve.ChallengeRequest{ID: target, K: 1}, &ch)
+		if err != nil {
+			return fmt.Errorf("harvest: challenge %s: %w", target, err)
+		}
+		switch code {
+		case http.StatusOK:
+			draws++
+			// A constant guess fails roughly half the k=1 verifies, feeding
+			// the fail-ratio signal alongside the raw challenge rate.
+			var vr authserve.VerifyResponse
+			vcode, err := lg.postJSON(ctx, "verify", "/v1/verify", authserve.VerifyRequest{
+				ID: target, ChallengeID: ch.ChallengeID, Response: strings.Repeat("0", len(ch.Pairs)),
+			}, &vr)
+			if err != nil {
+				return fmt.Errorf("harvest: verify %s: %w", target, err)
+			}
+			if vcode == http.StatusOK && !vr.OK {
+				fails++
+			}
+		case http.StatusConflict:
+			// Pool drained before the flag fired: the drain itself is the
+			// exhaustion signal, so keep polling for the flag.
+			time.Sleep(100 * time.Millisecond)
+		case http.StatusTooManyRequests:
+			time.Sleep(50 * time.Millisecond)
+		default:
+			return fmt.Errorf("harvest: challenge %s: unexpected status %d", target, code)
+		}
+		if draws%8 != 0 && code == http.StatusOK {
+			continue
+		}
+		dev, err := lg.flaggedDevice(ctx, target)
+		if err != nil {
+			return err
+		}
+		if dev == nil {
+			continue
+		}
+		evidence, _ := json.Marshal(dev)
+		fmt.Printf("harvest: %s flagged after %d draws (%d bogus verify fails) in %s\n",
+			target, draws, fails, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("harvest evidence: %s\n", evidence)
+		return lg.checkAbuseHealth(ctx)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("harvest: cancelled: %w", err)
+	}
+	return fmt.Errorf("harvest: %s not flagged after %d draws within %s", target, draws, timeout)
+}
+
+// flaggedDevice returns the audit endpoint's entry for id, or nil if the
+// device is not currently flagged.
+func (lg *loadgen) flaggedDevice(ctx context.Context, id string) (*authserve.FlaggedDevice, error) {
+	var fr authserve.FlaggedResponse
+	code, err := lg.getJSON(ctx, "flagged", "/v1/audit/flagged", &fr)
+	if err != nil {
+		return nil, fmt.Errorf("harvest: flagged poll: %w", err)
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("harvest: flagged poll: unexpected status %d", code)
+	}
+	for i := range fr.Devices {
+		if fr.Devices[i].ID == id {
+			return &fr.Devices[i], nil
+		}
+	}
+	return nil, nil
+}
+
+// checkAbuseHealth asserts /healthz is degraded with a device_abuse
+// reason. Decoded from raw bytes because the degraded endpoint answers
+// 503, which the usual JSON helpers treat as body-less.
+func (lg *loadgen) checkAbuseHealth(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, lg.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := lg.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("harvest: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("harvest: healthz: %w", err)
+	}
+	if !bytes.Contains(body, []byte("device_abuse")) {
+		return fmt.Errorf("harvest: healthz (%d) does not report device_abuse: %s", resp.StatusCode, body)
+	}
+	fmt.Printf("harvest: healthz degraded with device_abuse (%d)\n", resp.StatusCode)
+	return nil
 }

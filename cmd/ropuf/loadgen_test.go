@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule pins the capped exponential schedule: base<<attempt,
+// a longer Retry-After hint wins, and everything clamps to cap.
+func TestBackoffSchedule(t *testing.T) {
+	bo := backoff{base: 25 * time.Millisecond, cap: 2 * time.Second}
+	cases := []struct {
+		attempt    int
+		retryAfter time.Duration
+		want       time.Duration
+	}{
+		{0, 0, 25 * time.Millisecond},
+		{1, 0, 50 * time.Millisecond},
+		{2, 0, 100 * time.Millisecond},
+		{3, 0, 200 * time.Millisecond},
+		{6, 0, 1600 * time.Millisecond},
+		{7, 0, 2 * time.Second},                   // 3.2s clamps to cap
+		{100, 0, 2 * time.Second},                 // shift-overflow guard still clamps
+		{0, time.Second, time.Second},             // hint longer than local: hint wins
+		{6, time.Second, 1600 * time.Millisecond}, // hint shorter: schedule wins
+		{0, 5 * time.Second, 2 * time.Second},     // hint above cap clamps
+		{2, -time.Second, 100 * time.Millisecond}, // nonsense hint ignored
+	}
+	for _, c := range cases {
+		if got := bo.delay(c.attempt, c.retryAfter); got != c.want {
+			t.Errorf("delay(%d, %s) = %s, want %s", c.attempt, c.retryAfter, got, c.want)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"1", time.Second},
+		{" 30 ", 30 * time.Second},
+		{"0", 0},
+		{"-5", 0},
+		{"", 0},
+		{"garbage", 0},
+		{"Wed, 21 Oct 2026 07:28:00 GMT", 0}, // HTTP-date form not supported
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPostJSONBackoffRetriesOn429 drives the retry loop against a server
+// that throttles the first two attempts with a Retry-After hint and then
+// accepts, checking the client waited at least the hinted delays instead
+// of hammering.
+func TestPostJSONBackoffRetriesOn429(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0") // delta-seconds form; schedule supplies the floor
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	lg := &loadgen{base: srv.URL, client: srv.Client()}
+	bo := backoff{base: time.Millisecond, cap: 10 * time.Millisecond}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	start := time.Now()
+	code, err := lg.postJSONBackoff(context.Background(), "verify", "/", struct{}{}, &out, bo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || !out.OK {
+		t.Fatalf("got code %d ok=%v after retries, want 200 ok", code, out.OK)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	// Two sleeps of 1ms and 2ms: the total must reflect at least that.
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("retries completed in %s, want >= 3ms of backoff", elapsed)
+	}
+}
+
+// TestPostJSONBackoffGivesUp checks a persistently throttling server is
+// reported as 429 after maxAttempts rather than retried forever.
+func TestPostJSONBackoffGivesUp(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	lg := &loadgen{base: srv.URL, client: srv.Client()}
+	bo := backoff{base: time.Microsecond, cap: time.Microsecond}
+	code, err := lg.postJSONBackoff(context.Background(), "verify", "/", struct{}{}, nil, bo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("got code %d, want 429", code)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want exactly maxAttempts=3", got)
+	}
+}

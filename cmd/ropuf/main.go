@@ -15,6 +15,7 @@
 //	ropuf serve [flags]        run the PUF authentication HTTP service
 //	ropuf loadgen [flags]      drive a running authserve with a synthetic fleet
 //	ropuf tracestat <file>...  analyze span JSONL files from -trace-out
+//	ropuf audit <file>...      analyze security audit JSONL from serve -audit-out
 //
 // Long-running commands (all, fleet) are observable while they run:
 // -metrics-addr serves /metrics (Prometheus text), /healthz, and
@@ -104,6 +105,11 @@ func usage() {
   ropuf tracestat <file>...  analyze span JSONL files: stitch cross-process
                              traces, report per-span latency and the critical
                              path (see 'ropuf tracestat -h' for flags)
+  ropuf audit <file>...      analyze security audit JSONL from 'serve
+                             -audit-out': top CRP consumers, flagged devices
+                             with evidence, exhaustion forecasts; -spans
+                             correlates events to trace IDs
+                             (see 'ropuf audit -h' for flags)
 
 observability (before the subcommand; 'fleet' also accepts them after):
   -metrics-addr addr         serve /metrics, /healthz, /debug/pprof while running
@@ -138,6 +144,8 @@ func run(ctx context.Context, args []string) error {
 		return runLoadgen(ctx, args[1:])
 	case "tracestat":
 		return runTracestat(args[1:])
+	case "audit":
+		return runAudit(args[1:])
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", args[0])

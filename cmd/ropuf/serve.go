@@ -13,6 +13,7 @@ import (
 
 	"ropuf/internal/authserve"
 	"ropuf/internal/obs"
+	"ropuf/internal/obs/audit"
 )
 
 // runServe starts the PUF authentication HTTP service: the four /v1 routes
@@ -46,6 +47,8 @@ func runServe(ctx context.Context, args []string) error {
 	sloObjective := fs.Float64("slo-objective", 0.99, "availability objective for /healthz (fraction of non-5xx/429 responses)")
 	sloWindow := fs.Duration("slo-window", time.Minute, "rolling window the SLO burn rate is computed over")
 	maxBurn := fs.Float64("max-burn-rate", 10, "error-budget burn rate at which /healthz reports degraded")
+	auditOut := fs.String("audit-out", "", "append security audit events as JSON lines to this file (empty = off)")
+	abuseWindow := fs.Duration("abuse-window", time.Minute, "rolling window for per-device telemetry and the abuse scorer")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -82,15 +85,32 @@ func runServe(ctx context.Context, args []string) error {
 		}()
 		tracer = obs.NewTracer(obs.NewJSONLSink(traceFile), obs.WithService("authserve"))
 	}
+	var auditW *audit.Writer
+	if *auditOut != "" {
+		w, f, err := audit.OpenFile(*auditOut, audit.WriterOptions{})
+		if err != nil {
+			return fmt.Errorf("serve: audit output: %w", err)
+		}
+		auditW = w
+		defer func() {
+			// Drain the async writer before closing the file so the last
+			// events of a graceful shutdown are on disk.
+			_ = auditW.Close()
+			_ = f.Close()
+			fmt.Fprintf(os.Stderr, "audit: %d events emitted, %d dropped\n",
+				auditW.Emitted(), auditW.Dropped())
+		}()
+	}
 	store, err := authserve.Open(authserve.StoreOptions{
-		Tolerance:    *tolerance,
-		Shards:       *shards,
-		Dir:          *dataDir,
-		Seed:         *seed,
-		CompactBytes: *walCompact,
-		Fsync:        fsyncPolicy,
-		Registry:     registry,
-		Tracer:       tracer,
+		Tolerance:       *tolerance,
+		Shards:          *shards,
+		Dir:             *dataDir,
+		Seed:            *seed,
+		CompactBytes:    *walCompact,
+		Fsync:           fsyncPolicy,
+		Registry:        registry,
+		Tracer:          tracer,
+		TelemetryWindow: *abuseWindow,
 	})
 	if err != nil {
 		return err
@@ -105,6 +125,8 @@ func runServe(ctx context.Context, args []string) error {
 		SLO:          obs.SLO{Objective: *sloObjective, Window: *sloWindow},
 		MaxBurnRate:  *maxBurn,
 		Tracer:       tracer,
+		Audit:        auditW,
+		Abuse:        authserve.AbuseOptions{Window: *abuseWindow},
 	}
 	srv := authserve.NewServer(store, opt)
 

@@ -1,11 +1,18 @@
 package authserve
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
+	"ropuf/internal/auth"
 	"ropuf/internal/core"
 	"ropuf/internal/fleet"
+	"ropuf/internal/obs/audit"
 )
 
 // benchmarkStoreEnroll measures the durable-enroll cost against a store
@@ -60,3 +67,92 @@ func benchmarkStoreEnroll(b *testing.B, writeThrough bool) {
 
 func BenchmarkStoreEnrollWAL(b *testing.B)      { benchmarkStoreEnroll(b, false) }
 func BenchmarkStoreEnrollSnapshot(b *testing.B) { benchmarkStoreEnroll(b, true) }
+
+// benchmarkServerVerify measures the full verify HTTP handler at the
+// acceptance scale (1024 enrolled devices) with the audit stream on or
+// off. The two numbers side by side in BENCH_authserve.json pin the
+// steady-state audit overhead budget (<3%): the on-path cost is one
+// telemetry ring update plus a non-blocking channel send per request,
+// with JSON encoding pushed to the writer's drain goroutine.
+func benchmarkServerVerify(b *testing.B, auditOn bool) {
+	const nDevices = 1024
+	var w *audit.Writer
+	if auditOn {
+		w = audit.NewWriter(io.Discard, audit.WriterOptions{Buffer: 4096})
+		defer w.Close()
+	}
+	store, err := Open(StoreOptions{Shards: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	srv := NewServer(store, ServerOptions{Audit: w})
+	h := srv.Handler()
+
+	// prime enrolls a fresh fleet (device IDs salted by round, so earlier
+	// rounds' drained pools don't collide) and drains it into ready-to-send
+	// verify request bodies: the timed loop is pure verify traffic.
+	round := 0
+	prime := func() [][]byte {
+		round++
+		devices, err := fleet.Synthetic(nDevices, 16, 13, uint64(0xA0D1+round))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bodies [][]byte
+		for i, d := range devices {
+			id := fmt.Sprintf("r%d-%s", round, d.ID)
+			if _, err := store.Enroll(id, d.Pairs, core.Case2); err != nil {
+				b.Fatal(err)
+			}
+			enr, err := core.Enroll(d.Pairs, core.Case2, 0, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prover := &auth.Prover{Enrollment: enr}
+			for {
+				nonce, ch, _, err := store.Challenge(id, 2)
+				if err != nil {
+					break // pool drained for this device
+				}
+				resp, err := prover.Respond(ch, devices[i].Pairs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				body, err := json.Marshal(VerifyRequest{ID: id, ChallengeID: nonce, Response: resp.String()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bodies = append(bodies, body)
+			}
+		}
+		return bodies
+	}
+	bodies := prime()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	j := 0
+	for i := 0; i < b.N; i++ {
+		if j == len(bodies) {
+			b.StopTimer()
+			bodies, j = prime(), 0
+			b.StartTimer()
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/verify", strings.NewReader(string(bodies[j])))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("verify returned %d: %s", rec.Code, rec.Body.Bytes())
+		}
+		j++
+	}
+	b.StopTimer()
+	if auditOn && w.Dropped() > 0 {
+		b.Fatalf("audit writer dropped %d events during the benchmark, want 0", w.Dropped())
+	}
+}
+
+func BenchmarkServerVerifyAuditOn(b *testing.B)  { benchmarkServerVerify(b, true) }
+func BenchmarkServerVerifyAuditOff(b *testing.B) { benchmarkServerVerify(b, false) }

@@ -93,7 +93,7 @@ func TestFalseAcceptFalseRejectSweep(t *testing.T) {
 		impostor, impostorAccepts := 0, 0
 		attempt := func(victim int, silicon []core.Pair) bool {
 			id := devices[victim].ID
-			nonce, ch, err := store.Challenge(id, k)
+			nonce, ch, _, err := store.Challenge(id, k)
 			if err != nil {
 				t.Fatal(err)
 			}

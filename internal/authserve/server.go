@@ -16,6 +16,7 @@ import (
 	"ropuf/internal/bits"
 	"ropuf/internal/core"
 	"ropuf/internal/obs"
+	"ropuf/internal/obs/audit"
 	"ropuf/internal/obs/logx"
 )
 
@@ -57,6 +58,14 @@ type ServerOptions struct {
 	// rate can degrade health, damping flapping on trickle traffic.
 	// Defaults to 10.
 	MinSLORequests int
+
+	// Audit, when non-nil, receives the security event stream (enroll,
+	// verify-fail, flag, unflag, challenge) — see internal/obs/audit. Nil
+	// disables emission; the scorer still runs.
+	Audit *audit.Writer
+	// Abuse tunes the per-device abuse scorer; the zero value uses the
+	// documented defaults over the store's telemetry window.
+	Abuse AbuseOptions
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -109,6 +118,9 @@ type Server struct {
 	walBurn  *obs.BurnTracker // WAL append failures over the same window
 	degraded atomic.Bool      // last /healthz verdict, for transition logs
 
+	audit  *audit.Writer // security event stream (nil = disabled)
+	scorer *abuseScorer  // per-device abuse flags
+
 	// testHookInflight, when set (tests only), runs inside each admitted
 	// request's inflight window — it lets tests hold requests open to
 	// exercise backpressure and graceful drain deterministically.
@@ -133,7 +145,17 @@ func NewServer(store *Store, opt ServerOptions) *Server {
 			"Requests rejected with 429 because the bounded queue was full.", "route"),
 		inflight: reg.NewGauge("ropuf_authserve_inflight_requests",
 			"Requests currently executing."),
+		audit: opt.Audit,
 	}
+	flagGauge := reg.NewGaugeVec("ropuf_authserve_device_flags",
+		"Devices currently flagged by the abuse scorer, by reason.", "reason")
+	s.scorer = newAbuseScorer(store, opt.Abuse, opt.Audit, flagGauge)
+	reg.NewCounterFunc("ropuf_audit_events_total",
+		"Audit events accepted into the async writer.",
+		func() float64 { return float64(s.audit.Emitted()) })
+	reg.NewCounterFunc("ropuf_audit_dropped_total",
+		"Audit events dropped because the writer buffer was full.",
+		func() float64 { return float64(s.audit.Dropped()) })
 	reg.NewGaugeFunc("ropuf_authserve_devices",
 		"Devices currently enrolled in the store.",
 		func() float64 { return float64(store.NumDevices()) })
@@ -218,6 +240,13 @@ func (s *Server) Health() []obs.HealthReason {
 			})
 		}
 	}
+	if flagged := s.scorer.Flagged(false); len(flagged) > 0 {
+		reasons = append(reasons, obs.HealthReason{
+			Code:   "device_abuse",
+			Detail: healthDetail(flagged),
+			Value:  float64(len(flagged)),
+		})
+	}
 	return reasons
 }
 
@@ -247,6 +276,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/challenge", s.instrument("challenge", s.handleChallenge))
 	mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
 	mux.HandleFunc("GET /v1/devices/{id}", s.instrument("device", s.handleDevice))
+	mux.HandleFunc("GET /v1/audit/flagged", s.instrument("flagged", s.handleFlagged))
 	obsMux := obs.NewMux(s.opt.Registry)
 	mux.Handle("/metrics", obsMux)
 	mux.HandleFunc("/healthz", s.healthz)
@@ -357,6 +387,39 @@ func (s *Server) inStore(ctx context.Context, op string, fn func() error) error 
 	return err
 }
 
+// emitAudit stamps an audit event with the request's trace ID and the
+// store clock and hands it to the async writer (no-op with auditing off).
+func (s *Server) emitAudit(ctx context.Context, event, deviceID, reason string, detail map[string]float64) {
+	if s.audit == nil {
+		return
+	}
+	ev := audit.Event{
+		TS:       s.store.now(),
+		Event:    event,
+		DeviceID: deviceID,
+		Reason:   reason,
+		Detail:   detail,
+	}
+	if sc, ok := obs.SpanContextOf(ctx); ok {
+		ev.TraceID = sc.TraceID
+	}
+	s.audit.Emit(ev)
+}
+
+// verifyFailReason classifies a failed verify for the audit stream.
+func verifyFailReason(err error) string {
+	switch {
+	case err == nil:
+		return "mismatch"
+	case errors.Is(err, ErrUnknownChallenge):
+		return "unknown_challenge"
+	case errors.Is(err, auth.ErrUnknownDevice):
+		return "unknown_device"
+	default:
+		return "error"
+	}
+}
+
 func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	var req EnrollRequest
 	if r.Header.Get("Content-Type") == EnrollContentTypeBinary {
@@ -390,6 +453,9 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		writeStoreError(w, err)
 		return
 	}
+	s.emitAudit(r.Context(), audit.EventEnroll, info.ID, "", map[string]float64{
+		"pairs": float64(info.Pairs), "bits": float64(info.Bits), "fresh": float64(info.Fresh),
+	})
 	writeJSON(w, http.StatusOK, EnrollResponse{ID: info.ID, Pairs: info.Pairs, Bits: info.Bits, Fresh: info.Fresh})
 }
 
@@ -400,15 +466,19 @@ func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
 	}
 	var nonce string
 	var ch *auth.Challenge
+	var fresh int
 	err := s.inStore(r.Context(), "challenge", func() (err error) {
-		nonce, ch, err = s.store.Challenge(req.ID, req.K)
+		nonce, ch, fresh, err = s.store.Challenge(req.ID, req.K)
 		return err
 	})
 	if err != nil {
 		writeStoreError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ChallengeResponse{ChallengeID: nonce, ID: ch.DeviceID, Pairs: ch.Pairs})
+	s.emitAudit(r.Context(), audit.EventChallenge, ch.DeviceID, "", map[string]float64{
+		"k": float64(len(ch.Pairs)), "fresh_after": float64(fresh),
+	})
+	writeJSON(w, http.StatusOK, ChallengeResponse{ChallengeID: nonce, ID: ch.DeviceID, Pairs: ch.Pairs, Fresh: fresh})
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
@@ -428,8 +498,14 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return err
 	})
 	if err != nil {
+		s.emitAudit(r.Context(), audit.EventVerifyFail, req.ID, verifyFailReason(err), nil)
 		writeStoreError(w, err)
 		return
+	}
+	if !ok {
+		s.emitAudit(r.Context(), audit.EventVerifyFail, req.ID, verifyFailReason(nil), map[string]float64{
+			"distance": float64(dist), "limit": float64(limit),
+		})
 	}
 	writeJSON(w, http.StatusOK, VerifyResponse{OK: ok, Distance: dist, Limit: limit, Bits: resp.Len()})
 }
@@ -444,9 +520,27 @@ func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 		writeStoreError(w, err)
 		return
 	}
+	tel := s.store.Telemetry(info.ID)
+	remaining := 0.0
+	if info.Bits > 0 {
+		remaining = float64(info.Fresh) / float64(info.Bits)
+	}
 	writeJSON(w, http.StatusOK, DeviceResponse{
 		ID: info.ID, Pairs: info.Pairs, Bits: info.Bits,
 		Fresh: info.Fresh, Outstanding: info.Outstanding,
+		PairsRemaining:   remaining,
+		ChallengesIssued: tel.ChallengesIssued,
+		LastVerifyUnix:   tel.LastVerifyUnix,
+	})
+}
+
+// handleFlagged serves GET /v1/audit/flagged: the scorer's open flags,
+// swept fresh (the force flag bypasses the sweep rate limit so an
+// operator poll always sees current evidence).
+func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, FlaggedResponse{
+		Window:  s.scorer.opt.Window.String(),
+		Devices: s.scorer.Flagged(true),
 	})
 }
 

@@ -105,6 +105,10 @@ type StoreOptions struct {
 	// Tracer, when non-nil, emits an authserve.wal_replay span covering
 	// startup recovery.
 	Tracer *obs.Tracer
+	// TelemetryWindow is the rolling window the per-device consumption
+	// counters cover (see telemetry.go); the abuse scorer inherits it.
+	// Defaults to 60s.
+	TelemetryWindow time.Duration
 }
 
 func (o StoreOptions) withDefaults() StoreOptions {
@@ -122,6 +126,9 @@ func (o StoreOptions) withDefaults() StoreOptions {
 	}
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
+	}
+	if o.TelemetryWindow <= 0 {
+		o.TelemetryWindow = time.Minute
 	}
 	return o
 }
@@ -156,6 +163,12 @@ type Store struct {
 	compact   *compactor
 	closeOnce sync.Once
 	closeErr  error
+
+	// now is the telemetry clock, swapped by tests for deterministic
+	// windows and wire goldens; bucketWidth caches TelemetryWindow /
+	// telemetryBuckets for the ring-step arithmetic.
+	now         func() time.Time
+	bucketWidth time.Duration
 
 	// testCrashBeforeWALReset (tests only) aborts a compaction after the
 	// snapshot is durably in place but before the WAL is truncated —
@@ -193,6 +206,7 @@ type shard struct {
 	v           *auth.Verifier
 	nonceRNG    *rngx.RNG
 	outstanding map[string]*auth.Challenge // challenge ID -> issued challenge
+	stats       map[string]*devStats       // rolling consumption telemetry (memory-only)
 	path        string                     // snapshot file; "" = persistence off
 	wal         *wal                       // append-only mutation log; nil = persistence off
 	syncWrites  bool                       // fsync snapshot files + parent dir (FsyncAlways)
@@ -216,7 +230,12 @@ const manifestVersion = 1
 // existing directory with different options fails.
 func Open(opt StoreOptions) (*Store, error) {
 	opt = opt.withDefaults()
-	s := &Store{opt: opt, shards: make([]*shard, opt.Shards)}
+	s := &Store{
+		opt:         opt,
+		shards:      make([]*shard, opt.Shards),
+		now:         time.Now,
+		bucketWidth: opt.TelemetryWindow / telemetryBuckets,
+	}
 	reg := opt.Registry
 	s.walFsyncDur = reg.NewHistogram("ropuf_authserve_wal_fsync_duration_seconds",
 		"Latency of the per-record WAL fsync on the mutation path.", nil)
@@ -254,6 +273,7 @@ func Open(opt StoreOptions) (*Store, error) {
 		sh := &shard{
 			nonceRNG:    parent.Split(),
 			outstanding: make(map[string]*auth.Challenge),
+			stats:       make(map[string]*devStats),
 			syncWrites:  opt.Fsync == FsyncAlways,
 		}
 		if opt.Dir != "" {
@@ -442,6 +462,7 @@ func (s *Store) Enroll(id string, pairs []core.Pair, mode core.Mode) (DeviceInfo
 			return DeviceInfo{}, err
 		}
 	}
+	sh.statsFor(id).enrolls++
 	fresh, _ := sh.v.NumFresh(id)
 	return DeviceInfo{
 		ID:    id,
@@ -452,18 +473,19 @@ func (s *Store) Enroll(id string, pairs []core.Pair, mode core.Mode) (DeviceInfo
 }
 
 // Challenge draws a single-use challenge of length k and returns its
-// one-time ID. The consumed-pair state is durable before the challenge is
+// one-time ID plus the device's remaining fresh-pair count after the
+// draw. The consumed-pair state is durable before the challenge is
 // returned; the ID itself is memory-only and dies with the process. If
 // the durability write fails the consumption is rolled back — the pairs
 // never left the process, so returning them to the fresh pool leaks
 // nothing and the client's retry can draw again.
-func (s *Store) Challenge(id string, k int) (string, *auth.Challenge, error) {
+func (s *Store) Challenge(id string, k int) (string, *auth.Challenge, int, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	ch, err := sh.v.NewChallenge(id, k)
 	if err != nil {
-		return "", nil, err
+		return "", nil, 0, err
 	}
 	if sh.wal != nil {
 		payload, err := encodeConsumeRecord(id, ch.Pairs)
@@ -474,12 +496,19 @@ func (s *Store) Challenge(id string, k int) (string, *auth.Challenge, error) {
 			if rerr := sh.v.UnmarkUsed(id, ch.Pairs); rerr != nil {
 				err = errors.Join(err, rerr)
 			}
-			return "", nil, err
+			return "", nil, 0, err
 		}
 	}
 	nonce := fmt.Sprintf("%016x%016x", sh.nonceRNG.Uint64(), sh.nonceRNG.Uint64())
 	sh.outstanding[nonce] = ch
-	return nonce, ch, nil
+	d := sh.statsFor(id)
+	d.challenges++
+	d.advance(bucketStep(s.now(), s.bucketWidth))
+	b := &d.ring[d.lastStep%telemetryBuckets]
+	b.challenges++
+	b.pairs += int64(len(ch.Pairs))
+	fresh, _ := sh.v.NumFresh(id)
+	return nonce, ch, fresh, nil
 }
 
 // Verify checks a response against the outstanding challenge, consuming
@@ -497,6 +526,17 @@ func (s *Store) Verify(id, challengeID string, response *bits.Stream) (ok bool, 
 	ok, distance, err = sh.v.Verify(ch, response)
 	if err != nil {
 		return false, 0, 0, err
+	}
+	d := sh.statsFor(id)
+	d.verifies++
+	now := s.now()
+	d.lastVerify = now.Unix()
+	d.advance(bucketStep(now, s.bucketWidth))
+	b := &d.ring[d.lastStep%telemetryBuckets]
+	b.verifies++
+	if !ok {
+		d.fails++
+		b.fails++
 	}
 	return ok, distance, int(s.opt.Tolerance * float64(len(ch.Pairs))), nil
 }

@@ -58,7 +58,7 @@ func TestStoreConcurrentHammer(t *testing.T) {
 						t.Errorf("enroll %s: %v", d.ID, err)
 					}
 				case 1: // challenge + immediate verify with reference bits
-					nonce, ch, err := store.Challenge(d.ID, 2)
+					nonce, ch, _, err := store.Challenge(d.ID, 2)
 					if err != nil {
 						if errors.Is(err, auth.ErrUnknownDevice) || errors.Is(err, auth.ErrExhausted) {
 							continue
@@ -147,7 +147,7 @@ func TestCrashRestart(t *testing.T) {
 	var preCrash []issued
 	freshBefore := map[string]int{}
 	for _, d := range devices {
-		nonce, ch, err := store.Challenge(d.ID, 4)
+		nonce, ch, _, err := store.Challenge(d.ID, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +200,7 @@ func TestCrashRestart(t *testing.T) {
 			consumed[p] = true
 		}
 		for {
-			_, ch, err := restored.Challenge(iss.id, 4)
+			_, ch, _, err := restored.Challenge(iss.id, 4)
 			if errors.Is(err, auth.ErrExhausted) {
 				break
 			}
@@ -350,7 +350,7 @@ func TestChallengeRollbackOnPersistFailure(t *testing.T) {
 
 	sh := store.shardFor(d.ID)
 	sh.wal.failAppends = true
-	if _, _, err := store.Challenge(d.ID, 2); !errors.Is(err, ErrPersist) {
+	if _, _, _, err := store.Challenge(d.ID, 2); !errors.Is(err, ErrPersist) {
 		t.Fatalf("challenge with failing WAL = %v, want ErrPersist", err)
 	}
 	after, err := store.Device(d.ID)
@@ -365,7 +365,7 @@ func TestChallengeRollbackOnPersistFailure(t *testing.T) {
 	}
 
 	sh.wal.failAppends = false
-	if _, _, err := store.Challenge(d.ID, 2); err != nil {
+	if _, _, _, err := store.Challenge(d.ID, 2); err != nil {
 		t.Fatalf("challenge retry = %v", err)
 	}
 	final, _ := store.Device(d.ID)
@@ -425,7 +425,7 @@ func TestMidCompactionCrashRestart(t *testing.T) {
 		if _, err := store.Enroll(d.ID, d.Pairs, core.Case2); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := store.Challenge(d.ID, 4); err != nil {
+		if _, _, _, err := store.Challenge(d.ID, 4); err != nil {
 			t.Fatal(err)
 		}
 		info, err := store.Device(d.ID)
@@ -526,14 +526,14 @@ func TestWALReplayEquivalence(t *testing.T) {
 	}
 	for round := 0; round < 2; round++ {
 		for _, d := range devices {
-			_, ch, err := persistent.Challenge(d.ID, 3)
+			_, ch, _, err := persistent.Challenge(d.ID, 3)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, p := range ch.Pairs {
 				consumed[d.ID][p] = true
 			}
-			if _, _, err := memory.Challenge(d.ID, 3); err != nil {
+			if _, _, _, err := memory.Challenge(d.ID, 3); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -568,7 +568,7 @@ func TestWALReplayEquivalence(t *testing.T) {
 	// never re-issues a pre-crash pair.
 	for _, d := range devices {
 		for {
-			_, ch, err := restored.Challenge(d.ID, 3)
+			_, ch, _, err := restored.Challenge(d.ID, 3)
 			if errors.Is(err, auth.ErrExhausted) {
 				break
 			}

@@ -40,11 +40,13 @@ type ChallengeRequest struct {
 
 // ChallengeResponse names the pairs the device must evaluate, in order.
 // ChallengeID is the single-use handle a later verify must present; the
-// server invalidates it on first use and on restart.
+// server invalidates it on first use and on restart. Fresh is the pairs
+// remaining after this draw — clients can watch their own exhaustion.
 type ChallengeResponse struct {
 	ChallengeID string `json:"challenge_id"`
 	ID          string `json:"id"`
 	Pairs       []int  `json:"pairs"`
+	Fresh       int    `json:"fresh"`
 }
 
 // VerifyRequest is the body of POST /v1/verify. Response is the device's
@@ -74,6 +76,13 @@ type DeviceResponse struct {
 	Fresh int    `json:"fresh"`
 	// Outstanding counts issued-but-unverified challenges.
 	Outstanding int `json:"outstanding"`
+	// PairsRemaining is Fresh as a fraction of the usable (Bits) pool —
+	// the exhaustion state at a glance. ChallengesIssued and
+	// LastVerifyUnix are process-lifetime telemetry (reset on restart;
+	// LastVerifyUnix 0 = no verify this process).
+	PairsRemaining   float64 `json:"pairs_remaining"`
+	ChallengesIssued int64   `json:"challenges_issued"`
+	LastVerifyUnix   int64   `json:"last_verify_unix"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

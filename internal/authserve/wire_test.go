@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"ropuf/internal/core"
 	"ropuf/internal/fleet"
@@ -29,7 +30,10 @@ func TestWireFormatGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := devices[0]
-	_, ts := newTestServer(t, StoreOptions{Tolerance: 0.25, Shards: 2, Seed: 0x60D}, ServerOptions{})
+	srv, ts := newTestServer(t, StoreOptions{Tolerance: 0.25, Shards: 2, Seed: 0x60D}, ServerOptions{})
+	// Pin the telemetry clock so last_verify_unix in the device response is
+	// a stable byte sequence.
+	srv.store.now = func() time.Time { return time.Unix(1754650000, 0) }
 	c := ts.Client()
 
 	var log bytes.Buffer

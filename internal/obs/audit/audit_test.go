@@ -1,0 +1,211 @@
+package audit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	w, f, err := OpenFile(path, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	want := []Event{
+		{Event: EventEnroll, DeviceID: "dev-0001", TraceID: "0123456789abcdef0123456789abcdef"},
+		{Event: EventVerifyFail, DeviceID: "dev-0001", Reason: "mismatch",
+			Detail: map[string]float64{"distance": 12, "limit": 6}},
+		{Event: EventFlag, DeviceID: "dev-0002", Reason: "harvest",
+			Detail: map[string]float64{"challenge_rate": 40, "fleet_median_rate": 1}},
+	}
+	for _, ev := range want {
+		w.Emit(ev)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Emitted(), int64(3); got != want {
+		t.Fatalf("Emitted = %d, want %d", got, want)
+	}
+	if got := w.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0", got)
+	}
+
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(want) {
+		t.Fatalf("read %d events, want %d", len(events), len(want))
+	}
+	for i, ev := range events {
+		if ev.TS.IsZero() {
+			t.Errorf("event %d: zero TS not stamped", i)
+		}
+		if ev.Event != want[i].Event || ev.DeviceID != want[i].DeviceID ||
+			ev.TraceID != want[i].TraceID || ev.Reason != want[i].Reason {
+			t.Errorf("event %d = %+v, want fields of %+v", i, ev, want[i])
+		}
+		for k, v := range want[i].Detail {
+			if ev.Detail[k] != v {
+				t.Errorf("event %d: detail[%s] = %g, want %g", i, k, ev.Detail[k], v)
+			}
+		}
+	}
+}
+
+func TestWriterAppendsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	for run := 0; run < 2; run++ {
+		w, f, err := OpenFile(path, WriterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Emit(Event{Event: EventEnroll, DeviceID: "dev-0000"})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("after two runs got %d events, want 2 (restart must append, not truncate)", len(events))
+	}
+}
+
+// A wedged sink must not wedge Emit: events past the buffer are dropped
+// and counted while every Emit returns immediately.
+func TestWriterDropsWhenFull(t *testing.T) {
+	block := make(chan struct{})
+	w := NewWriter(blockingWriter{block}, WriterOptions{Buffer: 4})
+
+	// First write is pulled from the channel by the drain goroutine and
+	// blocks inside Write; wait until the buffer alone absorbs the rest.
+	total := 64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			w.Emit(Event{Event: EventChallenge, DeviceID: "dev-0000"})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on a wedged sink")
+	}
+	if w.Dropped() == 0 {
+		t.Fatalf("Dropped = 0 after %d emits into a wedged 4-slot writer", total)
+	}
+	if w.Emitted()+w.Dropped() != int64(total) {
+		t.Fatalf("Emitted %d + Dropped %d != %d", w.Emitted(), w.Dropped(), total)
+	}
+	close(block)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type blockingWriter struct{ unblock chan struct{} }
+
+func (b blockingWriter) Write(p []byte) (int, error) {
+	<-b.unblock
+	return len(p), nil
+}
+
+func TestWriterConcurrentEmit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	w, f, err := OpenFile(path, WriterOptions{Buffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				w.Emit(Event{Event: EventChallenge, DeviceID: "dev-0000"})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(events)) != w.Emitted() {
+		t.Fatalf("file has %d events, writer accepted %d", len(events), w.Emitted())
+	}
+	if w.Emitted()+w.Dropped() != goroutines*per {
+		t.Fatalf("Emitted %d + Dropped %d != %d", w.Emitted(), w.Dropped(), goroutines*per)
+	}
+}
+
+func TestNilWriterNoOps(t *testing.T) {
+	var w *Writer
+	w.Emit(Event{Event: EventEnroll, DeviceID: "dev-0000"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Emitted() != 0 || w.Dropped() != 0 {
+		t.Fatal("nil writer reported activity")
+	}
+}
+
+func TestReadRejectsMalformedLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"event\":\"enroll\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("want line-2 decode error, got %v", err)
+	}
+}
+
+func TestReadFiles(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 2; i++ {
+		p := filepath.Join(dir, "a.jsonl")
+		if i == 1 {
+			p = filepath.Join(dir, "b.jsonl")
+		}
+		w, f, err := OpenFile(p, WriterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Emit(Event{Event: EventEnroll, DeviceID: "dev-0000"})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		paths = append(paths, p)
+	}
+	events, err := ReadFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+}

@@ -100,13 +100,59 @@ func TestBurnTrackerCoalescing(t *testing.T) {
 	}
 }
 
+// TestBurnTrackerCoalescedTailRollover pins the window-rollover edge for
+// errors recorded in the last coalesced bucket: coalescing replaces the
+// tail sample with a newer timestamp, so an error burst folded into it
+// must age out exactly one window after the coalesced stamp — still
+// visible just inside that window, fully clear just past it, and never
+// lingering into a second window.
+func TestBurnTrackerCoalescedTailRollover(t *testing.T) {
+	// Window 64s makes the coalescing threshold exactly 1s.
+	f := newFakeBurn(t, SLO{Objective: 0.99, Window: 64 * time.Second})
+
+	f.now = f.now.Add(10 * time.Second) // t=10: healthy tail sample
+	f.total = 100
+	f.tracker.Report()
+
+	f.now = f.now.Add(500 * time.Millisecond) // t=10.5: outage burst, appended
+	f.total, f.errors = 200, 100
+	f.tracker.Report()
+
+	// t=10.9 is within 1s of the t=10 predecessor, so this report replaces
+	// the t=10.5 tail in place, re-stamping the burst at t=10.9.
+	f.now = f.now.Add(400 * time.Millisecond)
+	rep := f.tracker.Report()
+	if got := len(f.tracker.samples); got != 3 {
+		t.Fatalf("samples = %d, want 3 (tail coalesced, not appended)", got)
+	}
+	if rep.Errors != 100 || rep.BurnRate < 49 || rep.BurnRate > 51 {
+		t.Fatalf("outage report = %+v, want 100 errors at burn ~50", rep)
+	}
+
+	// t=74.8: one window past the burst's original arrival (10.5) but still
+	// inside the window of the coalesced stamp (10.9) — must still burn.
+	f.now = f.now.Add(63*time.Second + 900*time.Millisecond)
+	rep = f.tracker.Report()
+	if rep.Errors != 100 || rep.BurnRate == 0 {
+		t.Fatalf("report inside coalesced window = %+v, want the burst still visible", rep)
+	}
+
+	// t=75: just past one full window from the coalesced stamp. The burst
+	// must be gone NOW — one clean window, not two.
+	f.now = f.now.Add(200 * time.Millisecond)
+	rep = f.tracker.Report()
+	if rep.Total != 0 || rep.Errors != 0 || rep.BurnRate != 0 {
+		t.Fatalf("report after one clean window = %+v, want all zero", rep)
+	}
+}
+
 func TestNewBurnTrackerValidation(t *testing.T) {
 	src := func() (float64, float64) { return 0, 0 }
 	for name, fn := range map[string]func(){
-		"objective 0":  func() { NewBurnTracker(SLO{Objective: 0, Window: time.Minute}, src) },
-		"objective 1":  func() { NewBurnTracker(SLO{Objective: 1, Window: time.Minute}, src) },
-		"zero window":  func() { NewBurnTracker(SLO{Objective: 0.99}, src) },
-		"nil source":   func() { NewBurnTracker(SLO{Objective: 0.99, Window: time.Minute}, nil) },
+		"objective 0": func() { NewBurnTracker(SLO{Objective: 0, Window: time.Minute}, src) },
+		"objective 1": func() { NewBurnTracker(SLO{Objective: 1, Window: time.Minute}, src) },
+		"zero window": func() { NewBurnTracker(SLO{Objective: 0.99}, src) },
+		"nil source":  func() { NewBurnTracker(SLO{Objective: 0.99, Window: time.Minute}, nil) },
 	} {
 		func() {
 			defer func() {
