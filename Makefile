@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-authserve bench-all bench-smoke fleet-bench fuzz serve-smoke
+.PHONY: all build test verify bench bench-authserve bench-all bench-smoke fleet-bench fuzz serve-smoke datasetgen-smoke
 
 all: build test
 
@@ -29,12 +29,15 @@ verify:
 # Perf trajectory: run the fleet enrollment/evaluation benchmarks with
 # -benchmem and record name -> ns/op, B/op, allocs/op in BENCH_fleet.json,
 # then the measurement-engine benchmarks (incremental vs naive leave-one-out,
-# env-factor cache, whole-ring evaluation) into BENCH_measure.json
-# (cmd/benchjson echoes the raw output so CI logs keep the numbers).
+# env-factor cache, whole-ring evaluation, whole-board batch measurement,
+# streaming corpus generation — the last two also report boards/s and
+# bytes/board via B.ReportMetric, captured in the JSON's "extra" map) into
+# BENCH_measure.json (cmd/benchjson echoes the raw output so CI logs keep
+# the numbers).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkFleet(Enroll|Evaluate)' -benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson -o BENCH_fleet.json
-	$(GO) test -run xxx -bench 'BenchmarkDdiffs(Naive|Fast)|BenchmarkPairDdiffs|BenchmarkEnvFactor|BenchmarkHalfPeriod' \
-		-benchmem -benchtime 20x ./internal/measure ./internal/silicon ./internal/circuit \
+	$(GO) test -run xxx -bench 'BenchmarkDdiffs(Naive|Fast)|BenchmarkPairDdiffs|BenchmarkEnvFactor|BenchmarkHalfPeriod|BenchmarkBoardMeter|BenchmarkStreamVT' \
+		-benchmem -benchtime 20x ./internal/measure ./internal/silicon ./internal/circuit ./internal/dataset \
 		| $(GO) run ./cmd/benchjson -o BENCH_measure.json
 	$(MAKE) bench-authserve
 
@@ -75,11 +78,36 @@ bench-smoke:
 fleet-bench:
 	$(GO) test -run xxx -bench 'BenchmarkFleetEnroll' -benchtime 10x .
 
-# Fuzz the verifier snapshot decoder against hostile bytes (CI runs this
-# for a short burst; crashes land in internal/auth/testdata/fuzz).
+# Fuzz the verifier snapshot decoder and the shard-corpus decoders against
+# hostile bytes (CI runs these for short bursts; crashes land under the
+# packages' testdata/fuzz directories).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run FuzzLoadVerifier -fuzz FuzzLoadVerifier -fuzztime $(FUZZTIME) ./internal/auth
+	$(GO) test -run FuzzShardBin -fuzz FuzzShardBin -fuzztime $(FUZZTIME) ./internal/dataset
+	$(GO) test -run FuzzManifest -fuzz FuzzManifest -fuzztime $(FUZZTIME) ./internal/dataset
+
+# End-to-end smoke of the streaming dataset generator at paper scale
+# (199 boards x 512 ROs, 5 env boards under the 9-condition V/T sweep =
+# 122368 rows): generate the single-file CSV and a 1-shard CSV corpus in
+# parallel mode and require them byte-identical (the sharded path is the
+# same stream), then an 8-shard binary corpus, then re-read both corpora
+# with -check, which re-verifies every manifest count and CRC32-C.
+datasetgen-smoke:
+	$(GO) build -o /tmp/ropuf-dsgen ./cmd/datasetgen
+	rm -rf /tmp/ropuf-dsgen-data && mkdir -p /tmp/ropuf-dsgen-data
+	/tmp/ropuf-dsgen -workers 4 -out /tmp/ropuf-dsgen-data/vt.csv \
+		| grep -q 'wrote 199 boards (122368 rows)' || { echo "single CSV row count wrong"; exit 1; }
+	/tmp/ropuf-dsgen -workers 4 -shards 1 -format csv -out /tmp/ropuf-dsgen-data/csv1 \
+		| grep -q 'wrote 199 boards (122368 rows' || { echo "sharded CSV row count wrong"; exit 1; }
+	cmp /tmp/ropuf-dsgen-data/vt.csv /tmp/ropuf-dsgen-data/csv1/shard-0000.csv \
+		|| { echo "sharded CSV diverges from single-file stream"; exit 1; }
+	/tmp/ropuf-dsgen -workers 4 -shards 8 -format bin -out /tmp/ropuf-dsgen-data/bin8 \
+		| grep -q 'wrote 199 boards (122368 rows' || { echo "binary corpus row count wrong"; exit 1; }
+	/tmp/ropuf-dsgen -check /tmp/ropuf-dsgen-data/csv1 \
+		| grep -q 'verified 199 boards (122368 rows' || { echo "CSV corpus failed verification"; exit 1; }
+	/tmp/ropuf-dsgen -check /tmp/ropuf-dsgen-data/bin8 \
+		| grep -q 'verified 199 boards (122368 rows' || { echo "binary corpus failed verification"; exit 1; }
 
 # End-to-end smoke of the authentication service: boot `ropuf serve` on an
 # ephemeral port with a persistent store, drive it with `ropuf loadgen`,

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative boards", []string{"-boards", "-3"}, "-boards must be positive"},
+		{"env exceeds boards", []string{"-boards", "3"}, "do not fit in 3 boards"},
+		{"env override exceeds boards", []string{"-boards", "10", "-env-boards", "11"}, "do not fit in 10 boards"},
+		{"bad env sentinel", []string{"-env-boards", "-2"}, "-env-boards must be >= 0"},
+		{"negative shards", []string{"-shards", "-1"}, "-shards must be non-negative"},
+		{"unknown format", []string{"-shards", "2", "-format", "xml"}, "unknown shard format"},
+		{"bin without shards", []string{"-format", "bin"}, "requires -shards"},
+		{"stray argument", []string{"extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := runCLI(t, tc.args...)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q, want it to contain %q", tc.args, err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+func TestRunEnvBoardOverrideIsHonored(t *testing.T) {
+	// The old CLI silently clamped the default 5 env boards down to -boards;
+	// now the fix is explicit: -env-boards makes the small run valid.
+	out := filepath.Join(t.TempDir(), "small.csv")
+	got, err := runCLI(t, "-boards", "3", "-env-boards", "1", "-out", out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(got, "wrote 3 boards") {
+		t.Fatalf("output %q does not report 3 boards", got)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("output file: %v", err)
+	}
+}
+
+func TestRunShardedGenerateAndCheck(t *testing.T) {
+	for _, format := range []string{"csv", "bin"} {
+		t.Run(format, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "corpus")
+			got, err := runCLI(t, "-boards", "6", "-env-boards", "2", "-workers", "3",
+				"-shards", "2", "-format", format, "-out", dir)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			if !strings.Contains(got, "wrote 6 boards") {
+				t.Fatalf("generate output %q does not report 6 boards", got)
+			}
+
+			check, err := runCLI(t, "-check", dir)
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if !strings.Contains(check, "verified 6 boards") {
+				t.Fatalf("check output %q does not report 6 boards", check)
+			}
+
+			// Flip one byte in a shard: -check must fail loudly.
+			shard := filepath.Join(dir, "shard-0001."+format)
+			data, err := os.ReadFile(shard)
+			if err != nil {
+				t.Fatalf("read shard: %v", err)
+			}
+			data[len(data)/2] ^= 0x40
+			if err := os.WriteFile(shard, data, 0o644); err != nil {
+				t.Fatalf("write shard: %v", err)
+			}
+			if _, err := runCLI(t, "-check", dir); err == nil {
+				t.Fatal("check accepted a corrupted shard")
+			}
+		})
+	}
+}
+
+func TestRunMetricsAddr(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.csv")
+	got, err := runCLI(t, "-boards", "2", "-env-boards", "0",
+		"-metrics-addr", "127.0.0.1:0", "-out", out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(got, "metrics on http://") {
+		t.Fatalf("output %q does not announce the metrics server", got)
+	}
+}

@@ -17,12 +17,16 @@ import (
 )
 
 // Result is one benchmark's measurements. Zero-valued fields were absent
-// from the input line (e.g. B/op without -benchmem).
+// from the input line (e.g. B/op without -benchmem). Extra holds custom
+// units reported via testing.B.ReportMetric (boards/s, bytes/board, …)
+// keyed by unit string; JSON maps render with sorted keys, so records
+// still diff cleanly.
 type Result struct {
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Line renders the result as one `go test -bench` output line for the
@@ -35,6 +39,14 @@ func (r Result) Line(name string) string {
 	}
 	if r.AllocsPerOp != 0 {
 		fmt.Fprintf(&b, "\t%.0f allocs/op", r.AllocsPerOp)
+	}
+	units := make([]string, 0, len(r.Extra))
+	for unit := range r.Extra {
+		units = append(units, unit)
+	}
+	sort.Strings(units)
+	for _, unit := range units {
+		fmt.Fprintf(&b, "\t%s %s", strconv.FormatFloat(r.Extra[unit], 'g', -1, 64), unit)
 	}
 	return b.String()
 }
@@ -70,13 +82,23 @@ func Parse(r io.Reader, echo io.Writer) (map[string]Result, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				res.NsPerOp = v
 			case "B/op":
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			default:
+				// Custom B.ReportMetric units. Units contain no digits, so
+				// a unit-looking field is never mistaken for a value.
+				if strings.IndexFunc(unit, func(r rune) bool { return r >= '0' && r <= '9' }) >= 0 {
+					continue
+				}
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = v
 			}
 		}
 		results[name] = res

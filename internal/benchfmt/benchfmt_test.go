@@ -2,6 +2,7 @@ package benchfmt
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -78,7 +79,46 @@ func TestLineRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatalf("line %q did not parse: %v", line, parsed)
 	}
-	if got != in {
+	if !reflect.DeepEqual(got, in) {
 		t.Fatalf("round trip: got %+v, want %+v", got, in)
+	}
+}
+
+// TestParseCustomUnits pins that B.ReportMetric units land in Extra — the
+// dataset benchmarks publish boards/s and bytes/board this way — and that
+// they survive Line rendering and JSON marshalling.
+func TestParseCustomUnits(t *testing.T) {
+	const line = "BenchmarkStreamVT-8\t5\t240000000 ns/op\t512 B/op\t3 allocs/op\t41.5 boards/s\t35840 bytes/board\n"
+	results, err := Parse(strings.NewReader(line), &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := results["BenchmarkStreamVT"]
+	if got.NsPerOp != 240000000 || got.BytesPerOp != 512 || got.AllocsPerOp != 3 {
+		t.Fatalf("standard units misparsed: %+v", got)
+	}
+	want := map[string]float64{"boards/s": 41.5, "bytes/board": 35840}
+	if !reflect.DeepEqual(got.Extra, want) {
+		t.Fatalf("Extra = %v, want %v", got.Extra, want)
+	}
+
+	reparsed, err := Parse(strings.NewReader(got.Line("BenchmarkStreamVT")+"\n"), &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reparsed["BenchmarkStreamVT"].Extra, want) {
+		t.Fatalf("Line round trip lost extras: %+v", reparsed["BenchmarkStreamVT"])
+	}
+
+	data, err := Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]Result
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded["BenchmarkStreamVT"].Extra, want) {
+		t.Fatalf("JSON round trip lost extras:\n%s", data)
 	}
 }

@@ -1,0 +1,44 @@
+package dataset
+
+import "testing"
+
+// countingWriter tallies bytes without retaining them.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// BenchmarkStreamVT measures the end-to-end streaming generator — die
+// fabrication, batch measurement, CSV encoding — and reports corpus
+// throughput in boards/s and output density in bytes/board, the two
+// numbers that size a 10k-board fleet run.
+func BenchmarkStreamVT(b *testing.B) {
+	cfg := DefaultVTConfig()
+	cfg.NumBoards = 16
+	cfg.NumEnvBoards = 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytes, boards int64
+	for i := 0; i < b.N; i++ {
+		cw := &countingWriter{}
+		w, err := NewCSVWriter(cw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = StreamVT(cfg, func(board *Board) error {
+			boards++
+			return w.WriteBoard(board)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		bytes += cw.n
+	}
+	b.ReportMetric(float64(boards)/b.Elapsed().Seconds(), "boards/s")
+	b.ReportMetric(float64(bytes)/float64(boards), "bytes/board")
+}

@@ -1,0 +1,849 @@
+package dataset
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Sharded on-disk corpus layout. A corpus directory holds
+//
+//	shard-0000.csv … shard-NNNN.csv   (or .bin)
+//	manifest.json
+//
+// Boards are assigned round-robin in arrival order: the i-th board written
+// goes to shard i mod S. Because a ShardWriter is fed from one goroutine
+// (StreamVT/StreamVTParallel emit in board order), every shard's boards
+// are in ascending arrival order, and a reader that cycles the shards
+// 0,1,…,S−1,0,1,… reconstructs the exact global write order — the shard
+// layout is a pure inverse-free interleaving, no sort or merge needed.
+//
+// The CSV shard format is the WriteCSV row format (with header) restricted
+// to the shard's boards; the binary format frames one board per record:
+//
+//	magic "ROPUFDS1" (8 bytes, once per file)
+//	per board: u32le bodyLen  u32le crc32c(body)
+//	  body: u32le id  u16le gridW  u16le gridH  u32le numROs  u16le numConds
+//	        numROs × (u16le x, u16le y)
+//	        per condition: i32le milliVolts  i32le deciCelsius
+//	                       numROs × f64le freq bits
+//
+// CRC32-C (Castagnoli) guards each binary record and — via the manifest —
+// every shard file of either format end to end. All decode paths bound
+// their allocations before trusting any length field; hostile shard or
+// manifest bytes must produce loud errors, never panics or huge
+// allocations (FuzzShardBin / FuzzManifest).
+
+// Format selects the shard file encoding.
+type Format string
+
+const (
+	// FormatCSV writes WriteCSV-compatible text shards (~38 B/row).
+	FormatCSV Format = "csv"
+	// FormatBin writes the framed binary board records (~12 B/row).
+	FormatBin Format = "bin"
+)
+
+// ParseFormat converts a -format flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatCSV, FormatBin:
+		return Format(s), nil
+	}
+	return "", fmt.Errorf("dataset: unknown shard format %q (want csv or bin)", s)
+}
+
+func (f Format) ext() string { return "." + string(f) }
+
+const (
+	// ManifestName is the corpus manifest's file name inside the directory.
+	ManifestName = "manifest.json"
+
+	manifestVersion = 1
+	shardMagic      = "ROPUFDS1"
+
+	// Decode-time bounds: a hostile length field may not provoke a larger
+	// allocation than these before validation.
+	maxShardROs     = 1 << 20
+	maxShardConds   = 1 << 12
+	maxRecordBytes  = 64 << 20
+	maxManifestSize = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ShardInfo is one shard file's manifest entry.
+type ShardInfo struct {
+	File   string `json:"file"`
+	Boards int    `json:"boards"`
+	Rows   int64  `json:"rows"`
+	Bytes  int64  `json:"bytes"`
+	CRC32C uint32 `json:"crc32c"`
+}
+
+// Manifest describes a sharded corpus: the shard roster with per-file
+// board/row counts, byte sizes, and whole-file CRC32-C checksums.
+type Manifest struct {
+	Version int         `json:"version"`
+	Format  Format      `json:"format"`
+	Shards  int         `json:"shards"`
+	Boards  int         `json:"boards"`
+	Rows    int64       `json:"rows"`
+	Files   []ShardInfo `json:"files"`
+}
+
+// parseManifest decodes and semantically validates manifest bytes.
+func parseManifest(data []byte) (*Manifest, error) {
+	if len(data) > maxManifestSize {
+		return nil, fmt.Errorf("dataset: manifest is %d bytes, limit %d", len(data), maxManifestSize)
+	}
+	var m Manifest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("dataset: parse manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("dataset: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Format != FormatCSV && m.Format != FormatBin {
+		return nil, fmt.Errorf("dataset: manifest has unknown format %q", m.Format)
+	}
+	if m.Shards != len(m.Files) {
+		return nil, fmt.Errorf("dataset: manifest shard count %d != %d listed files", m.Shards, len(m.Files))
+	}
+	if m.Shards <= 0 {
+		return nil, fmt.Errorf("dataset: manifest lists no shards")
+	}
+	boards, rows := 0, int64(0)
+	for i, f := range m.Files {
+		if f.File != shardName(i, m.Format) {
+			return nil, fmt.Errorf("dataset: manifest shard %d is named %q, want %q", i, f.File, shardName(i, m.Format))
+		}
+		if f.Boards < 0 || f.Rows < 0 || f.Bytes < 0 {
+			return nil, fmt.Errorf("dataset: manifest shard %q has negative counts", f.File)
+		}
+		boards += f.Boards
+		rows += f.Rows
+	}
+	if boards != m.Boards {
+		return nil, fmt.Errorf("dataset: manifest boards %d != %d summed over shards", m.Boards, boards)
+	}
+	if rows != m.Rows {
+		return nil, fmt.Errorf("dataset: manifest rows %d != %d summed over shards", m.Rows, rows)
+	}
+	return &m, nil
+}
+
+func shardName(i int, f Format) string { return fmt.Sprintf("shard-%04d%s", i, f.ext()) }
+
+// shardFile is one open output shard with CRC/byte accounting of the
+// exact bytes hitting disk.
+type shardFile struct {
+	name   string
+	f      *os.File
+	bw     *bufio.Writer
+	crc    hash.Hash32
+	bytes  int64
+	boards int
+	rows   int64
+	cw     *csv.Writer // CSV format only
+}
+
+func (s *shardFile) Write(p []byte) (int, error) {
+	n, err := s.f.Write(p)
+	s.crc.Write(p[:n])
+	s.bytes += int64(n)
+	return n, err
+}
+
+// ShardWriter streams boards into a sharded corpus directory, assigning
+// boards round-robin in arrival order, and writes the manifest on Close.
+// It buffers one bufio.Writer per shard — memory is O(shards), constant in
+// the board count. Not safe for concurrent use; StreamVTParallel already
+// funnels its in-order callback through one goroutine.
+type ShardWriter struct {
+	dir    string
+	format Format
+	shards []*shardFile
+	next   int
+	closed bool
+}
+
+// NewShardWriter creates dir (if needed) and opens shards shard files of
+// the given format, truncating any previous corpus of the same shape.
+func NewShardWriter(dir string, shards int, format Format) (*ShardWriter, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("dataset: shard count must be positive, got %d", shards)
+	}
+	if format != FormatCSV && format != FormatBin {
+		return nil, fmt.Errorf("dataset: unknown shard format %q", format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: create corpus dir: %w", err)
+	}
+	w := &ShardWriter{dir: dir, format: format}
+	for i := 0; i < shards; i++ {
+		name := shardName(i, format)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			w.abort()
+			return nil, fmt.Errorf("dataset: create shard: %w", err)
+		}
+		s := &shardFile{name: name, f: f, crc: crc32.New(castagnoli)}
+		s.bw = bufio.NewWriterSize(s, 1<<16)
+		switch format {
+		case FormatCSV:
+			s.cw = csv.NewWriter(s.bw)
+			if err := s.cw.Write(csvHeader); err != nil {
+				w.abort()
+				return nil, fmt.Errorf("dataset: write shard header: %w", err)
+			}
+		case FormatBin:
+			if _, err := s.bw.WriteString(shardMagic); err != nil {
+				w.abort()
+				return nil, fmt.Errorf("dataset: write shard magic: %w", err)
+			}
+		}
+		w.shards = append(w.shards, s)
+	}
+	return w, nil
+}
+
+func (w *ShardWriter) abort() {
+	for _, s := range w.shards {
+		s.f.Close()
+	}
+	w.closed = true
+}
+
+// WriteBoard appends b to the next shard in round-robin order.
+func (w *ShardWriter) WriteBoard(b *Board) error {
+	if w.closed {
+		return errors.New("dataset: write to closed ShardWriter")
+	}
+	s := w.shards[w.next%len(w.shards)]
+	w.next++
+	var rows int64
+	var err error
+	switch w.format {
+	case FormatCSV:
+		rows, err = writeCSVBoard(s.cw, b)
+		if err == nil {
+			s.cw.Flush()
+			err = s.cw.Error()
+		}
+	case FormatBin:
+		rows, err = writeBinBoard(s.bw, b)
+	}
+	if err != nil {
+		return err
+	}
+	s.boards++
+	s.rows += rows
+	return nil
+}
+
+// Stats reports running totals: boards and rows accepted, and bytes that
+// reached the shard files so far (buffered rows are not yet counted).
+func (w *ShardWriter) Stats() (boards int, rows, bytes int64) {
+	for _, s := range w.shards {
+		boards += s.boards
+		rows += s.rows
+		bytes += s.bytes
+	}
+	return boards, rows, bytes
+}
+
+// Close flushes and closes every shard, writes the manifest, and returns
+// it. The writer is unusable afterwards.
+func (w *ShardWriter) Close() (*Manifest, error) {
+	if w.closed {
+		return nil, errors.New("dataset: ShardWriter closed twice")
+	}
+	w.closed = true
+	m := &Manifest{Version: manifestVersion, Format: w.format, Shards: len(w.shards)}
+	var firstErr error
+	for _, s := range w.shards {
+		if s.cw != nil {
+			s.cw.Flush()
+			if err := s.cw.Error(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := s.bw.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := s.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		m.Boards += s.boards
+		m.Rows += s.rows
+		m.Files = append(m.Files, ShardInfo{
+			File:   s.name,
+			Boards: s.boards,
+			Rows:   s.rows,
+			Bytes:  s.bytes,
+			CRC32C: s.crc.Sum32(),
+		})
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("dataset: close shards: %w", firstErr)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("dataset: encode manifest: %w", err)
+	}
+	data = append(data, '\n')
+	// Temp-file + rename so a crashed writer never leaves a plausible but
+	// truncated manifest: the manifest's presence marks a complete corpus.
+	tmp := filepath.Join(w.dir, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return nil, fmt.Errorf("dataset: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, ManifestName)); err != nil {
+		return nil, fmt.Errorf("dataset: commit manifest: %w", err)
+	}
+	return m, nil
+}
+
+// writeBinBoard frames one board record into bw and returns its row count.
+func writeBinBoard(bw *bufio.Writer, b *Board) (int64, error) {
+	body, err := appendBinBoard(nil, b)
+	if err != nil {
+		return 0, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := bw.Write(body); err != nil {
+		return 0, err
+	}
+	return int64(len(b.Freq)) * int64(b.NumROs()), nil
+}
+
+// appendBinBoard appends the body of one board record to dst.
+func appendBinBoard(dst []byte, b *Board) ([]byte, error) {
+	n := b.NumROs()
+	conds := b.Conditions()
+	switch {
+	case b.ID < 0 || int64(b.ID) > math.MaxUint32:
+		return nil, fmt.Errorf("dataset: board ID %d does not fit the shard format", b.ID)
+	case b.GridW < 0 || b.GridW > math.MaxUint16 || b.GridH < 0 || b.GridH > math.MaxUint16:
+		return nil, fmt.Errorf("dataset: board %d grid %dx%d does not fit the shard format", b.ID, b.GridW, b.GridH)
+	case n > maxShardROs:
+		return nil, fmt.Errorf("dataset: board %d has %d ROs, shard format limit %d", b.ID, n, maxShardROs)
+	case len(conds) > maxShardConds:
+		return nil, fmt.Errorf("dataset: board %d has %d conditions, shard format limit %d", b.ID, len(conds), maxShardConds)
+	case len(b.Y) != n:
+		return nil, fmt.Errorf("dataset: board %d has %d X but %d Y coordinates", b.ID, n, len(b.Y))
+	}
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[0:4], uint32(b.ID))
+	dst = append(dst, scratch[:4]...)
+	binary.LittleEndian.PutUint16(scratch[0:2], uint16(b.GridW))
+	binary.LittleEndian.PutUint16(scratch[2:4], uint16(b.GridH))
+	dst = append(dst, scratch[:4]...)
+	binary.LittleEndian.PutUint32(scratch[0:4], uint32(n))
+	dst = append(dst, scratch[:4]...)
+	binary.LittleEndian.PutUint16(scratch[0:2], uint16(len(conds)))
+	dst = append(dst, scratch[:2]...)
+	for i := 0; i < n; i++ {
+		if b.X[i] < 0 || b.X[i] > math.MaxUint16 || b.Y[i] < 0 || b.Y[i] > math.MaxUint16 {
+			return nil, fmt.Errorf("dataset: board %d RO %d position (%d,%d) does not fit the shard format", b.ID, i, b.X[i], b.Y[i])
+		}
+		binary.LittleEndian.PutUint16(scratch[0:2], uint16(b.X[i]))
+		binary.LittleEndian.PutUint16(scratch[2:4], uint16(b.Y[i]))
+		dst = append(dst, scratch[:4]...)
+	}
+	for _, c := range conds {
+		f := b.Freq[c]
+		if len(f) != n {
+			return nil, fmt.Errorf("dataset: board %d condition %v has %d ROs, want %d", b.ID, c, len(f), n)
+		}
+		binary.LittleEndian.PutUint32(scratch[0:4], uint32(int32(c.MilliVolts)))
+		binary.LittleEndian.PutUint32(scratch[4:8], uint32(int32(c.DeciCelsius)))
+		dst = append(dst, scratch[:8]...)
+		for _, v := range f {
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+			dst = append(dst, scratch[:8]...)
+		}
+	}
+	return dst, nil
+}
+
+// ShardReader iterates a sharded corpus without loading it: at any moment
+// it holds one decoded board plus one buffered reader per shard.
+type ShardReader struct {
+	dir string
+	man *Manifest
+}
+
+// OpenShards reads and validates dir's manifest: version and format,
+// internal count consistency, and that every listed shard file exists with
+// the manifest's byte size (checksums are verified during iteration, when
+// the bytes are read anyway).
+func OpenShards(dir string) (*ShardReader, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read manifest: %w", err)
+	}
+	man, err := parseManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, fi := range man.Files {
+		st, err := os.Stat(filepath.Join(dir, fi.File))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: missing shard: %w", err)
+		}
+		if st.Size() != fi.Bytes {
+			return nil, fmt.Errorf("dataset: shard %s is %d bytes, manifest says %d", fi.File, st.Size(), fi.Bytes)
+		}
+	}
+	return &ShardReader{dir: dir, man: man}, nil
+}
+
+// Manifest returns the validated corpus manifest.
+func (r *ShardReader) Manifest() *Manifest { return r.man }
+
+// Boards streams every board to fn in the exact order they were written
+// (the round-robin interleave of the shards), verifying each shard's
+// CRC32-C, board count, and row count against the manifest as a side
+// effect. Memory is constant in the corpus size.
+func (r *ShardReader) Boards(fn func(*Board) error) error {
+	cursors := make([]shardCursor, len(r.man.Files))
+	defer func() {
+		for _, c := range cursors {
+			if c != nil {
+				c.close()
+			}
+		}
+	}()
+	for i, fi := range r.man.Files {
+		c, err := openCursor(filepath.Join(r.dir, fi.File), fi, r.man.Format)
+		if err != nil {
+			return err
+		}
+		cursors[i] = c
+	}
+	for seq := 0; seq < r.man.Boards; seq++ {
+		c := cursors[seq%len(cursors)]
+		b, err := c.next()
+		if err != nil {
+			return err
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	for _, c := range cursors {
+		if err := c.finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll loads the whole corpus into a Dataset (environment boards are
+// those measured under more than one condition, as in ReadCSV). Intended
+// for corpora that fit in memory; large fleets should use Boards.
+func (r *ShardReader) ReadAll() (*Dataset, error) {
+	ds := &Dataset{Name: "shards"}
+	err := r.Boards(func(b *Board) error {
+		ds.Boards = append(ds.Boards, b)
+		if len(b.Freq) > 1 {
+			ds.EnvIDs = append(ds.EnvIDs, b.ID)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// shardCursor pulls boards from one shard file.
+type shardCursor interface {
+	next() (*Board, error)
+	// finish asserts the cursor consumed exactly the manifest's boards and
+	// rows and that the file's bytes match the manifest checksum.
+	finish() error
+	close() error
+}
+
+// crcReader tees everything read from the underlying file through a
+// CRC32-C accumulator, so a cursor that reaches EOF has checksummed the
+// whole shard for free.
+type crcReader struct {
+	r     io.Reader
+	crc   hash.Hash32
+	bytes int64
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc.Write(p[:n])
+	c.bytes += int64(n)
+	return n, err
+}
+
+func openCursor(path string, fi ShardInfo, format Format) (shardCursor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open shard: %w", err)
+	}
+	cr := &crcReader{r: f, crc: crc32.New(castagnoli)}
+	br := bufio.NewReaderSize(cr, 1<<16)
+	switch format {
+	case FormatBin:
+		cur := &binCursor{file: f, cr: cr, br: br, fi: fi}
+		if err := cur.readMagic(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return cur, nil
+	default:
+		cur := &csvCursor{file: f, cr: cr, fi: fi, rd: csv.NewReader(br)}
+		cur.rd.FieldsPerRecord = len(csvHeader)
+		cur.rd.ReuseRecord = true
+		if err := cur.readHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return cur, nil
+	}
+}
+
+// finishShard drains br (when non-nil) to EOF and checks counters against
+// the manifest.
+func finishShard(fi ShardInfo, cr *crcReader, br io.Reader, boards int, rows int64) error {
+	if br != nil {
+		if _, err := io.Copy(io.Discard, br); err != nil {
+			return fmt.Errorf("dataset: shard %s: %w", fi.File, err)
+		}
+	}
+	switch {
+	case boards != fi.Boards:
+		return fmt.Errorf("dataset: shard %s has %d boards, manifest says %d", fi.File, boards, fi.Boards)
+	case rows != fi.Rows:
+		return fmt.Errorf("dataset: shard %s has %d rows, manifest says %d", fi.File, rows, fi.Rows)
+	case cr.bytes != fi.Bytes:
+		return fmt.Errorf("dataset: shard %s is %d bytes, manifest says %d", fi.File, cr.bytes, fi.Bytes)
+	case cr.crc.Sum32() != fi.CRC32C:
+		return fmt.Errorf("dataset: shard %s checksum %08x, manifest says %08x", fi.File, cr.crc.Sum32(), fi.CRC32C)
+	}
+	return nil
+}
+
+// binCursor decodes framed binary board records.
+type binCursor struct {
+	file   *os.File
+	cr     *crcReader
+	br     *bufio.Reader
+	fi     ShardInfo
+	boards int
+	rows   int64
+	buf    []byte
+}
+
+func (c *binCursor) readMagic() error {
+	var magic [8]byte
+	if _, err := io.ReadFull(c.br, magic[:]); err != nil {
+		return fmt.Errorf("dataset: shard %s: read magic: %w", c.fi.File, err)
+	}
+	if string(magic[:]) != shardMagic {
+		return fmt.Errorf("dataset: shard %s: bad magic %q", c.fi.File, magic[:])
+	}
+	return nil
+}
+
+func (c *binCursor) next() (*Board, error) {
+	b, rows, err := readBinBoard(c.br, &c.buf)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: shard %s: %w", c.fi.File, err)
+	}
+	c.boards++
+	c.rows += rows
+	return b, nil
+}
+
+func (c *binCursor) finish() error {
+	return finishShard(c.fi, c.cr, c.br, c.boards, c.rows)
+}
+
+func (c *binCursor) close() error { return c.file.Close() }
+
+// readBinBoard decodes one framed record from br. buf is a reusable body
+// buffer. Returns the board and its row count.
+func readBinBoard(br io.Reader, buf *[]byte) (*Board, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, errors.New("truncated shard: record missing")
+		}
+		return nil, 0, fmt.Errorf("read record header: %w", err)
+	}
+	bodyLen := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	if bodyLen > maxRecordBytes {
+		return nil, 0, fmt.Errorf("record length %d exceeds limit %d", bodyLen, maxRecordBytes)
+	}
+	if cap(*buf) < int(bodyLen) {
+		*buf = make([]byte, bodyLen)
+	}
+	body := (*buf)[:bodyLen]
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, 0, fmt.Errorf("read record body: %w", err)
+	}
+	if got := crc32.Checksum(body, castagnoli); got != wantCRC {
+		return nil, 0, fmt.Errorf("record checksum %08x, frame says %08x", got, wantCRC)
+	}
+	d := binDecoder{data: body}
+	id := d.u32()
+	gridW, gridH := int(d.u16()), int(d.u16())
+	n := int(d.u32())
+	nConds := int(d.u16())
+	if d.err == nil && n > maxShardROs {
+		return nil, 0, fmt.Errorf("record claims %d ROs, limit %d", n, maxShardROs)
+	}
+	if d.err == nil && nConds > maxShardConds {
+		return nil, 0, fmt.Errorf("record claims %d conditions, limit %d", nConds, maxShardConds)
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	b := &Board{
+		ID:    int(id),
+		GridW: gridW,
+		GridH: gridH,
+		X:     make([]int, n),
+		Y:     make([]int, n),
+		Freq:  make(map[Condition][]float64, nConds),
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		b.X[i] = int(d.u16())
+		b.Y[i] = int(d.u16())
+	}
+	for ci := 0; ci < nConds && d.err == nil; ci++ {
+		cond := Condition{MilliVolts: int(int32(d.u32())), DeciCelsius: int(int32(d.u32()))}
+		if _, dup := b.Freq[cond]; dup {
+			return nil, 0, fmt.Errorf("record repeats condition %v", cond)
+		}
+		f := make([]float64, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			f[i] = math.Float64frombits(d.u64())
+		}
+		b.Freq[cond] = f
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if d.off != len(d.data) {
+		return nil, 0, fmt.Errorf("%d trailing bytes in board record", len(d.data)-d.off)
+	}
+	return b, int64(nConds) * int64(n), nil
+}
+
+// binDecoder is a bounds-checked little-endian body reader: the first
+// out-of-range read latches err and later reads return zeros.
+type binDecoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *binDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.data) {
+		d.err = errors.New("truncated board record")
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *binDecoder) u16() uint16 {
+	if b := d.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (d *binDecoder) u32() uint32 {
+	if b := d.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (d *binDecoder) u64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+// csvCursor streams WriteCSV-format rows, grouping consecutive rows of one
+// board ID into a Board. It requires the writer's layout — rows of a board
+// contiguous, condition-major, RO indices 0..n−1 per condition — and fails
+// loudly on anything else.
+type csvCursor struct {
+	file   *os.File
+	cr     *crcReader
+	fi     ShardInfo
+	rd     *csv.Reader
+	boards int
+	rows   int64
+
+	peeked  *csvRow
+	atEOF   bool
+	lastID  int
+	anyDone bool
+}
+
+type csvRow struct {
+	id, ro, x, y int
+	cond         Condition
+	freq         float64
+}
+
+func (c *csvCursor) readHeader() error {
+	head, err := c.rd.Read()
+	if err != nil {
+		return fmt.Errorf("dataset: shard %s: read header: %w", c.fi.File, err)
+	}
+	for i, h := range csvHeader {
+		if head[i] != h {
+			return fmt.Errorf("dataset: shard %s: header column %d is %q, want %q", c.fi.File, i, head[i], h)
+		}
+	}
+	return nil
+}
+
+func (c *csvCursor) readRow() (*csvRow, error) {
+	if c.peeked != nil {
+		r := c.peeked
+		c.peeked = nil
+		return r, nil
+	}
+	if c.atEOF {
+		return nil, nil
+	}
+	rec, err := c.rd.Read()
+	if err == io.EOF {
+		c.atEOF = true
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dataset: shard %s: %w", c.fi.File, err)
+	}
+	var row csvRow
+	ints := [6]*int{&row.id, &row.ro, &row.x, &row.y, &row.cond.MilliVolts, &row.cond.DeciCelsius}
+	for i, dst := range ints {
+		v, err := strconv.Atoi(rec[i])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: shard %s: column %s: %w", c.fi.File, csvHeader[i], err)
+		}
+		*dst = v
+	}
+	f, err := strconv.ParseFloat(rec[6], 64)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: shard %s: freq: %w", c.fi.File, err)
+	}
+	row.freq = f
+	c.rows++
+	return &row, nil
+}
+
+func (c *csvCursor) next() (*Board, error) {
+	first, err := c.readRow()
+	if err != nil {
+		return nil, err
+	}
+	if first == nil {
+		return nil, fmt.Errorf("dataset: shard %s: truncated shard: board missing", c.fi.File)
+	}
+	if c.anyDone && first.id == c.lastID {
+		return nil, fmt.Errorf("dataset: shard %s: board %d rows are not contiguous", c.fi.File, first.id)
+	}
+	b := &Board{ID: first.id, Freq: map[Condition][]float64{}}
+	firstCond := first.cond
+	cur := first
+	for {
+		f := b.Freq[cur.cond]
+		if want := len(f); cur.ro != want {
+			return nil, fmt.Errorf("dataset: shard %s: board %d condition %v row has RO %d, want %d",
+				c.fi.File, b.ID, cur.cond, cur.ro, want)
+		}
+		if cur.cond == firstCond {
+			// The first condition block defines the board's RO positions.
+			b.X = append(b.X, cur.x)
+			b.Y = append(b.Y, cur.y)
+		}
+		b.Freq[cur.cond] = append(f, cur.freq)
+		nxt, err := c.readRow()
+		if err != nil {
+			return nil, err
+		}
+		if nxt == nil || nxt.id != b.ID {
+			c.peeked = nxt
+			break
+		}
+		cur = nxt
+	}
+	n := len(b.X)
+	maxX, maxY := 0, 0
+	for i := 0; i < n; i++ {
+		if b.X[i] > maxX {
+			maxX = b.X[i]
+		}
+		if b.Y[i] > maxY {
+			maxY = b.Y[i]
+		}
+	}
+	b.GridW, b.GridH = maxX+1, maxY+1
+	for cond, f := range b.Freq {
+		if len(f) != n {
+			return nil, fmt.Errorf("dataset: shard %s: board %d condition %v has %d ROs, want %d",
+				c.fi.File, b.ID, cond, len(f), n)
+		}
+	}
+	c.boards++
+	c.lastID, c.anyDone = b.ID, true
+	return b, nil
+}
+
+func (c *csvCursor) finish() error {
+	if c.peeked != nil {
+		return fmt.Errorf("dataset: shard %s has more boards than the manifest says", c.fi.File)
+	}
+	// Drain any unread tail (there should be none for a well-formed shard;
+	// draining makes the row/byte/CRC comparison meaningful for hostile
+	// ones).
+	for !c.atEOF {
+		if _, err := c.readRow(); err != nil {
+			return err
+		}
+	}
+	return finishShard(c.fi, c.cr, nil, c.boards, c.rows)
+}
+
+func (c *csvCursor) close() error { return c.file.Close() }

@@ -3,6 +3,7 @@ package dataset
 import (
 	"fmt"
 
+	"ropuf/internal/measure"
 	"ropuf/internal/rngx"
 	"ropuf/internal/silicon"
 )
@@ -69,31 +70,31 @@ func (c VTConfig) Validate() error {
 	return c.Process.Validate()
 }
 
-// GenerateVT fabricates the full dataset. Population boards get one nominal
-// measurement; the last NumEnvBoards boards get the voltage and temperature
-// sweeps as well.
+// GenerateVT fabricates the full dataset in memory. Population boards get
+// one nominal measurement; the last NumEnvBoards boards get the voltage
+// and temperature sweeps as well. It is StreamVT plus an accumulator —
+// corpora too large to hold (10k-board fleets) should use StreamVT with a
+// ShardWriter instead; the two produce bit-identical boards.
 func GenerateVT(cfg VTConfig) (*Dataset, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	root := rngx.New(cfg.Seed)
 	ds := &Dataset{Name: "vt-synthetic"}
-	for id := 0; id < cfg.NumBoards; id++ {
-		brng := root.Split()
-		isEnv := id >= cfg.NumBoards-cfg.NumEnvBoards
-		board, err := generateVTBoard(cfg, id, isEnv, brng)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: board %d: %w", id, err)
+	err := StreamVT(cfg, func(b *Board) error {
+		ds.Boards = append(ds.Boards, b)
+		if len(b.Freq) > 1 {
+			ds.EnvIDs = append(ds.EnvIDs, b.ID)
 		}
-		ds.Boards = append(ds.Boards, board)
-		if isEnv {
-			ds.EnvIDs = append(ds.EnvIDs, id)
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ds, nil
 }
 
-func generateVTBoard(cfg VTConfig, id int, env bool, rng *rngx.RNG) (*Board, error) {
+// generateVTBoard fabricates one die and measures it under its conditions
+// with the board-major batch meter (one pinned env table and one noise
+// NormFill per condition; bm's scratch is reused across boards). The
+// result is bit-identical to the historical per-device loop.
+func generateVTBoard(cfg VTConfig, id int, env bool, rng *rngx.RNG, bm *measure.BoardMeter) (*Board, error) {
 	die, err := silicon.NewDie(cfg.Process, cfg.GridW, cfg.GridH, rng)
 	if err != nil {
 		return nil, err
@@ -123,12 +124,9 @@ func generateVTBoard(cfg VTConfig, id int, env bool, rng *rngx.RNG) (*Board, err
 	}
 	mrng := rng.Split() // measurement-noise stream, separate from fabrication
 	for _, c := range conds {
-		f := make([]float64, n)
-		e := c.Env()
-		for i := 0; i < n; i++ {
-			period := 2 * die.DelayPS(i, e) // Base is a half-period
-			freq := 1e6 / period            // MHz
-			f[i] = freq + mrng.NormMeanStd(0, cfg.NoiseMHz)
+		f, err := bm.MeasureInto(make([]float64, n), die, c.Env(), mrng)
+		if err != nil {
+			return nil, err
 		}
 		b.Freq[c] = f
 	}

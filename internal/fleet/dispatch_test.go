@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDispatchRunsEveryJobOnce(t *testing.T) {
+	const n = 200
+	var ran [n]atomic.Int32
+	err := Dispatch(context.Background(), n, 8, nil, func(worker, idx int) {
+		if worker < 0 || worker >= 8 {
+			t.Errorf("job %d ran on worker %d", idx, worker)
+		}
+		ran[idx].Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("job %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestDispatchPrepareIsSerialAndOrdered pins the contract the deterministic
+// streaming generator depends on: prepare hooks run one at a time, in
+// strictly increasing index order, before the job is handed to any worker.
+func TestDispatchPrepareIsSerialAndOrdered(t *testing.T) {
+	const n = 150
+	var inPrepare atomic.Int32
+	var order []int
+	var mu sync.Mutex
+	prepared := make([]atomic.Bool, n)
+	err := Dispatch(context.Background(), n, 6, func(idx int) {
+		if inPrepare.Add(1) != 1 {
+			t.Error("prepare hooks overlap")
+		}
+		mu.Lock()
+		order = append(order, idx)
+		mu.Unlock()
+		prepared[idx].Store(true)
+		inPrepare.Add(-1)
+	}, func(worker, idx int) {
+		if !prepared[idx].Load() {
+			t.Errorf("job %d ran before its prepare hook", idx)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("prepare ran %d times, want %d", len(order), n)
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("prepare order[%d] = %d, want strictly increasing", i, idx)
+		}
+	}
+}
+
+func TestDispatchClampsWorkerCount(t *testing.T) {
+	var ran atomic.Int32
+	// workers < 1 and workers > n must both still complete every job.
+	for _, workers := range []int{-3, 0, 50} {
+		ran.Store(0)
+		if err := Dispatch(context.Background(), 10, workers, nil, func(worker, idx int) {
+			ran.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if ran.Load() != 10 {
+			t.Fatalf("workers=%d: ran %d of 10 jobs", workers, ran.Load())
+		}
+	}
+}
+
+func TestDispatchCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := Dispatch(ctx, 100, 4, nil, func(worker, idx int) { ran.Add(1) })
+	if err == nil {
+		t.Fatal("cancelled dispatch reported success")
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d jobs ran under a pre-cancelled context", got)
+	}
+}

@@ -348,14 +348,28 @@ func evalOne(j EvalJob) (res EvalResult) {
 	return res
 }
 
-// dispatch feeds job indices to a bounded worker pool. run receives the
-// worker's index alongside the job index so callers can maintain per-worker
-// scratch state without synchronization. dispatch stops dispatching once
-// ctx is cancelled (in-flight jobs finish) and returns the context's error,
-// if any.
+// dispatch is Dispatch without a prepare hook (the enroll/evaluate batch
+// paths need none).
 func dispatch(ctx context.Context, n, workers int, run func(worker, idx int)) error {
+	return Dispatch(ctx, n, workers, nil, run)
+}
+
+// Dispatch feeds job indices 0..n-1 to a bounded worker pool. run receives
+// the worker's index alongside the job index so callers can maintain
+// per-worker scratch state without synchronization. prepare, when non-nil,
+// runs serially in the dispatching goroutine, in strictly increasing index
+// order, immediately before the job is handed to a worker — the hook batch
+// generators use to draw per-job RNG seeds in the exact serial stream
+// order (rngx.RNG.SplitSeed) while the work itself fans out. Dispatch
+// stops dispatching once ctx is cancelled (in-flight jobs finish, prepared
+// but undelivered jobs are dropped) and returns the context's error, if
+// any.
+func Dispatch(ctx context.Context, n, workers int, prepare func(idx int), run func(worker, idx int)) error {
 	if workers > n {
 		workers = n
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -372,6 +386,9 @@ dispatching:
 	for i := 0; i < n; i++ {
 		if ctx.Err() != nil {
 			break
+		}
+		if prepare != nil {
+			prepare(i)
 		}
 		select {
 		case jobs <- i:

@@ -94,3 +94,34 @@ func BenchmarkPairDdiffs(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBoardMeter measures whole-board batch measurement (the VT
+// dataset's hot loop): one pinned env table + one NormFill per board,
+// zero warm allocations. boards/s is the fleet-scale throughput figure.
+func BenchmarkBoardMeter(b *testing.B) {
+	for _, grid := range [][2]int{{16, 16}, {16, 32}} {
+		b.Run(fmt.Sprintf("ros=%d", grid[0]*grid[1]), func(b *testing.B) {
+			p := silicon.DefaultParams()
+			p.NominalDelayPS = 5208
+			die, err := silicon.NewDie(p, grid[0], grid[1], rngx.New(0xB0A2D))
+			if err != nil {
+				b.Fatal(err)
+			}
+			bm := NewBoardMeter(0.01)
+			rng := rngx.New(7)
+			dst := make([]float64, die.NumDevices())
+			env := silicon.Env{V: 1.08, T: 45}
+			if _, err := bm.MeasureInto(dst, die, env, rng); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bm.MeasureInto(dst, die, env, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "boards/s")
+		})
+	}
+}

@@ -64,7 +64,16 @@ func (r *RNG) Uint64() uint64 {
 // Split derives an independent child generator. The child's seed is drawn
 // from the parent, so sibling order matters but siblings do not share state.
 func (r *RNG) Split() *RNG {
-	return New(r.Uint64())
+	return New(r.SplitSeed())
+}
+
+// SplitSeed draws the seed Split would hand to the child without
+// constructing it: New(r.SplitSeed()) is state-identical to r.Split().
+// Parallel generators use it to derive per-job child seeds serially in
+// dispatch order — one u64 per job instead of one live RNG — so workers
+// can reconstruct the exact serial sub-stream on another goroutine.
+func (r *RNG) SplitSeed() uint64 {
+	return r.Uint64()
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.

@@ -306,6 +306,31 @@ func (d *Die) DelaysPS(env Env) []float64 {
 	return d.envTableFor(env).delays
 }
 
+// DelaysIntoPS fills dst with every device's delay under env, in
+// picoseconds, and returns dst. It is the board-major bulk accessor behind
+// measure.BoardMeter: one call pins a single cached environment table for
+// the whole die (building it on first use) and performs zero allocations
+// on the warm path. Each entry is validated against the device's current
+// Vth — a device mutated after the table was built falls back to a direct
+// recomputation, which is bit-identical to per-device DelayPS calls —
+// so concurrent readers may share a die while a sweep is in flight.
+// len(dst) must equal NumDevices.
+func (d *Die) DelaysIntoPS(dst []float64, env Env) ([]float64, error) {
+	if len(dst) != len(d.Devices) {
+		return nil, fmt.Errorf("silicon: DelaysIntoPS dst has %d entries, die has %d devices", len(dst), len(d.Devices))
+	}
+	t := d.envTableFor(env)
+	for i := range d.Devices {
+		dev := &d.Devices[i]
+		if t.vth[i] == dev.Vth {
+			dst[i] = dev.Base * t.factors[i]
+		} else {
+			dst[i] = dev.Base * d.envFactor(dev.Vth, env)
+		}
+	}
+	return dst, nil
+}
+
 // DelayPS returns the delay of device i under the given environment, in
 // picoseconds. It panics if i is out of range. When the die's current
 // cached environment matches env the lookup is a multiply; otherwise the

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -195,7 +196,7 @@ func TestBenchResultsShape(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if len(back) != len(results) || back["BenchmarkSpanStoreVerifyP99"] != results["BenchmarkSpanStoreVerifyP99"] {
+	if len(back) != len(results) || !reflect.DeepEqual(back["BenchmarkSpanStoreVerifyP99"], results["BenchmarkSpanStoreVerifyP99"]) {
 		t.Fatalf("round trip lost records: %v -> %v", results, back)
 	}
 }
