@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-authserve bench-all bench-smoke fleet-bench fuzz serve-smoke datasetgen-smoke
+.PHONY: all build test verify bench bench-authserve bench-all bench-smoke fleet-bench fuzz serve-smoke watch-smoke datasetgen-smoke
 
 all: build test
 
@@ -177,3 +177,56 @@ serve-smoke:
 		-spans /tmp/ropuf-harvest-data/loadgen.jsonl,/tmp/ropuf-harvest-data/authserve.jsonl \
 		/tmp/ropuf-harvest-data/audit.jsonl \
 		| tee AUDITSTAT.txt
+	$(MAKE) watch-smoke
+
+# Fleet observability leg: `ropuf watch` polls two live serve instances plus
+# the load generator's own -metrics-addr endpoint while loadgen drives one
+# server, gating on zero anomaly firings and a >=99% scrape success ratio
+# (WATCHSTAT.txt is the CI artifact). The loadgen workload is sized so its
+# challenge-preparation phase alone outlasts the watch window — its metrics
+# endpoint must not vanish mid-watch. A second, negative pass SIGSTOPs an
+# idle server mid-watch and requires watch to exit non-zero via the
+# flatline + scrape_failure rules: the detector itself is under test, not
+# just the happy path.
+watch-smoke:
+	$(GO) build -o /tmp/ropuf-smoke ./cmd/ropuf
+	rm -rf /tmp/ropuf-watch-a /tmp/ropuf-watch-b /tmp/ropuf-watch-c
+	mkdir -p /tmp/ropuf-watch-a /tmp/ropuf-watch-b /tmp/ropuf-watch-c
+	printf '%s' '[{"type":"scrape_failure","window":"4s"},{"type":"burn_rate","series":"ropuf_authserve_requests_total{route=\"verify\"}","error_codes":"^5..$$","window":"4s"},{"type":"p99_ceiling","series":"ropuf_authserve_request_duration_seconds","max_seconds":1,"window":"4s"}]' \
+		> /tmp/ropuf-watch-a/rules.json
+	/tmp/ropuf-smoke serve -addr 127.0.0.1:18083 -data /tmp/ropuf-watch-a & \
+	SRVA=$$!; \
+	/tmp/ropuf-smoke serve -addr 127.0.0.1:18085 -data /tmp/ropuf-watch-b & \
+	SRVB=$$!; sleep 1; \
+	/tmp/ropuf-smoke loadgen -addr http://127.0.0.1:18083 -devices 256 -pairs 2048 -k 8 \
+		-metrics-addr 127.0.0.1:18084 -bench-out "" > /tmp/ropuf-watch-a/loadgen.log 2>&1 & \
+	LG=$$!; sleep 1; \
+	if ! /tmp/ropuf-smoke watch -interval 500ms -duration 8s -report-every 4s \
+		-rules /tmp/ropuf-watch-a/rules.json -min-success 0.99 \
+		-rate-series 'ropuf_authserve_requests_total{route="verify"}' \
+		-latency-series ropuf_authserve_request_duration_seconds \
+		-out /tmp/ropuf-watch-a/watch.jsonl \
+		http://127.0.0.1:18083 http://127.0.0.1:18085 http://127.0.0.1:18084 \
+		> WATCHSTAT.txt 2>&1; then \
+		cat WATCHSTAT.txt; cat /tmp/ropuf-watch-a/loadgen.log; \
+		echo "watch reported anomalies on a healthy fleet"; \
+		kill $$SRVA $$SRVB $$LG 2>/dev/null; exit 1; fi; \
+	cat WATCHSTAT.txt; \
+	kill -INT $$LG 2>/dev/null; wait $$LG 2>/dev/null || true; \
+	kill -INT $$SRVB $$SRVA; wait $$SRVB $$SRVA
+	printf '%s' '[{"type":"flatline","series":"ropuf_authserve_requests_total","window":"2s"},{"type":"scrape_failure","window":"2s"}]' \
+		> /tmp/ropuf-watch-c/stall-rules.json
+	/tmp/ropuf-smoke serve -addr 127.0.0.1:18086 -data /tmp/ropuf-watch-c & \
+	SRV=$$!; sleep 1; \
+	( sleep 2; kill -STOP $$SRV ) & \
+	if /tmp/ropuf-smoke watch -interval 250ms -timeout 500ms -duration 6s -report-every 0 \
+		-rules /tmp/ropuf-watch-c/stall-rules.json http://127.0.0.1:18086 \
+		> /tmp/ropuf-watch-c/stall.log 2>&1; then \
+		cat /tmp/ropuf-watch-c/stall.log; \
+		echo "watch exited zero against a SIGSTOPped server"; \
+		kill -CONT $$SRV 2>/dev/null; kill $$SRV 2>/dev/null; exit 1; fi; \
+	grep -q 'ANOMALY' /tmp/ropuf-watch-c/stall.log \
+		|| { echo "watch failed without an ANOMALY line"; kill -CONT $$SRV 2>/dev/null; kill $$SRV 2>/dev/null; exit 1; }; \
+	echo "stalled-server watch exited non-zero, as it must:"; \
+	grep 'ANOMALY' /tmp/ropuf-watch-c/stall.log; \
+	kill -CONT $$SRV 2>/dev/null; kill -INT $$SRV; wait $$SRV

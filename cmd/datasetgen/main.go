@@ -83,9 +83,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-format %s requires -shards (single-file output is always CSV)", f)
 	}
 
-	reg := obs.NewRegistry()
-	boardsTotal := reg.NewCounter("ropuf_datasetgen_boards_total", "Boards generated so far.")
-	rowsTotal := reg.NewCounter("ropuf_datasetgen_rows_total", "Measurement rows generated so far.")
+	reg, boardsTotal, rowsTotal := newMetricsRegistry()
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
@@ -99,6 +97,18 @@ func run(args []string, stdout io.Writer) error {
 		return generateSharded(cfg, *workers, *out, *shards, f, stdout, boardsTotal, rowsTotal)
 	}
 	return generateCSV(cfg, *workers, *out, stdout, boardsTotal, rowsTotal)
+}
+
+// newMetricsRegistry builds the generator's observability registry: the
+// progress counters plus the ropuf_runtime_* series, so a scrape of a
+// long-running generation shows memory and GC behavior alongside
+// throughput.
+func newMetricsRegistry() (reg *obs.Registry, boardsTotal, rowsTotal *obs.Counter) {
+	reg = obs.NewRegistry()
+	boardsTotal = reg.NewCounter("ropuf_datasetgen_boards_total", "Boards generated so far.")
+	rowsTotal = reg.NewCounter("ropuf_datasetgen_rows_total", "Measurement rows generated so far.")
+	obs.RegisterRuntimeMetrics(reg)
+	return reg, boardsTotal, rowsTotal
 }
 
 // rowsOf counts a board's measurement rows (ROs × conditions).

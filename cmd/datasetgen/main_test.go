@@ -108,3 +108,27 @@ func TestRunMetricsAddr(t *testing.T) {
 		t.Fatalf("output %q does not announce the metrics server", got)
 	}
 }
+
+// TestMetricsRegistryHasRuntimeSeries: a scrape of a long-running
+// generation must include process runtime health, not just progress
+// counters.
+func TestMetricsRegistryHasRuntimeSeries(t *testing.T) {
+	reg, boards, rows := newMetricsRegistry()
+	boards.Inc()
+	rows.Add(3)
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"ropuf_datasetgen_boards_total 1",
+		"ropuf_datasetgen_rows_total 3",
+		"ropuf_runtime_goroutines",
+		"ropuf_runtime_heap_alloc_bytes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("registry exposition missing %q:\n%s", want, text)
+		}
+	}
+}

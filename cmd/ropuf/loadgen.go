@@ -59,6 +59,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 1, "fleet fabrication seed")
 	enrollWire := fs.String("enroll-wire", "binary", "enroll request encoding: binary (application/x-ropuf-enroll) or json")
 	benchOut := fs.String("bench-out", "BENCH_authserve.json", "write the perf record here (empty = skip)")
+	metricsAddr := fs.String("metrics-addr", "", "serve the client's own /metrics and /v1/stats on this address, so `ropuf watch` can poll the load generator alongside the server")
 	trace := fs.String("trace-out", *traceOut, "write client span events as JSON lines to this file")
 	harvest := fs.Bool("harvest", false, "adversary mode: hammer one device's challenges until the server's abuse scorer flags it, then exit")
 	harvestTimeout := fs.Duration("harvest-timeout", 30*time.Second, "give up if the harvest flag has not fired after this long")
@@ -71,6 +72,27 @@ func runLoadgen(ctx context.Context, args []string) error {
 
 	if *enrollWire != "binary" && *enrollWire != "json" {
 		return fmt.Errorf("loadgen: -enroll-wire must be binary or json, got %q", *enrollWire)
+	}
+	// The client keeps its own request metrics: during an incident the
+	// delta between client-observed and server-observed rate/latency is
+	// what separates a slow server from a slow network or client. The
+	// metrics endpoint comes up before fleet fabrication, which takes
+	// seconds at scale — a watcher polling this process must not see
+	// connection-refused while the fleet is still being synthesized.
+	reg := obs.NewRegistry()
+	reqTotal := reg.NewCounterVec("ropuf_loadgen_requests_total",
+		"Requests sent by the load generator; code is the HTTP status or \"error\" for transport failures.",
+		"route", "code")
+	reqDur := reg.NewHistogramVec("ropuf_loadgen_request_duration_seconds",
+		"Client-observed request latency, connection setup included.",
+		nil, "route", "code")
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("loadgen: metrics server: %w", err)
+		}
+		defer msrv.Close()
+		fmt.Printf("client metrics on http://%s/metrics\n", msrv.Addr())
 	}
 	devices, err := fleet.Synthetic(*numDevices, *pairs, *stages, *seed)
 	if err != nil {
@@ -88,7 +110,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 		MaxIdleConns:        *concurrency,
 		MaxIdleConnsPerHost: *concurrency,
 	}}
-	lg := &loadgen{base: *addr, client: client}
+	lg := &loadgen{base: *addr, client: client, reqTotal: reqTotal, reqDur: reqDur}
 	if *trace != "" {
 		traceFile, err := os.Create(*trace)
 		if err != nil {
@@ -288,6 +310,9 @@ type loadgen struct {
 	base   string
 	client *http.Client
 	tracer *obs.Tracer // nil unless -trace-out is set
+
+	reqTotal *obs.CounterVec   // requests by route and status code
+	reqDur   *obs.HistogramVec // client-observed latency by route and code
 }
 
 // forEach runs fn(0..n-1) across `workers` goroutines, stopping early on
@@ -358,11 +383,14 @@ func (lg *loadgen) doHdr(ctx context.Context, route string, req *http.Request, o
 	spanCtx, span := lg.tracer.Start(ctx, "loadgen."+route)
 	defer span.End()
 	obs.Inject(spanCtx, req.Header)
+	t0 := time.Now()
 	resp, err := lg.client.Do(req)
 	if err != nil {
 		span.SetAttr("error", err.Error())
+		lg.record(route, "error", time.Since(t0))
 		return 0, 0, err
 	}
+	defer func() { lg.record(route, strconv.Itoa(resp.StatusCode), time.Since(t0)) }()
 	defer resp.Body.Close()
 	span.SetAttr("code", strconv.Itoa(resp.StatusCode))
 	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
@@ -376,6 +404,16 @@ func (lg *loadgen) doHdr(ctx context.Context, route string, req *http.Request, o
 		}
 	}
 	return resp.StatusCode, retryAfter, nil
+}
+
+// record counts one request in the client-side metrics. Harness helpers
+// (tests) construct loadgen without a registry; that stays legal.
+func (lg *loadgen) record(route, code string, elapsed time.Duration) {
+	if lg.reqTotal == nil {
+		return
+	}
+	lg.reqTotal.With(route, code).Inc()
+	lg.reqDur.With(route, code).Observe(elapsed.Seconds())
 }
 
 // postJSONBackoff posts like postJSON but retries 429 responses up to

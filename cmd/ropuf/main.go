@@ -14,6 +14,7 @@
 //	ropuf fleet [flags]        enroll + evaluate a synthetic device fleet concurrently
 //	ropuf serve [flags]        run the PUF authentication HTTP service
 //	ropuf loadgen [flags]      drive a running authserve with a synthetic fleet
+//	ropuf watch [flags] <url>  poll fleet /metrics endpoints with anomaly gates
 //	ropuf tracestat <file>...  analyze span JSONL files from -trace-out
 //	ropuf audit <file>...      analyze security audit JSONL from serve -audit-out
 //
@@ -102,6 +103,11 @@ func usage() {
                              (see 'ropuf serve -h' for flags)
   ropuf loadgen [flags]      drive a running authserve with a synthetic fleet
                              (see 'ropuf loadgen -h' for flags)
+  ropuf watch [flags] <url>...
+                             poll /metrics on N targets: per-target and fleet
+                             rates/quantiles, JSONL time-series log, anomaly
+                             rules with non-zero exit for CI
+                             (see 'ropuf watch -h' for flags)
   ropuf tracestat <file>...  analyze span JSONL files: stitch cross-process
                              traces, report per-span latency and the critical
                              path (see 'ropuf tracestat -h' for flags)
@@ -142,6 +148,8 @@ func run(ctx context.Context, args []string) error {
 		return runServe(ctx, args[1:])
 	case "loadgen":
 		return runLoadgen(ctx, args[1:])
+	case "watch":
+		return runWatch(ctx, args[1:])
 	case "tracestat":
 		return runTracestat(args[1:])
 	case "audit":

@@ -17,6 +17,7 @@ import (
 	"ropuf/internal/core"
 	"ropuf/internal/obs"
 	"ropuf/internal/obs/audit"
+	"ropuf/internal/obs/flight"
 	"ropuf/internal/obs/logx"
 )
 
@@ -121,6 +122,10 @@ type Server struct {
 	audit  *audit.Writer // security event stream (nil = disabled)
 	scorer *abuseScorer  // per-device abuse flags
 
+	// recorder samples the registry into the /v1/stats ring; Serve runs
+	// its tick loop for the server's lifetime.
+	recorder *flight.Recorder
+
 	// testHookInflight, when set (tests only), runs inside each admitted
 	// request's inflight window — it lets tests hold requests open to
 	// exercise backpressure and graceful drain deterministically.
@@ -163,6 +168,8 @@ func NewServer(store *Store, opt ServerOptions) *Server {
 		"Requests waiting for an inflight slot.",
 		func() float64 { return float64(s.waiting.Load()) })
 	obs.RegisterRuntimeMetrics(reg)
+	obs.RegisterBuildInfo(reg)
+	s.recorder = obs.NewFlightRecorder(reg, 0)
 	s.burn = obs.NewBurnTracker(opt.SLO, s.sampleRequests)
 	s.snapBurn = obs.NewBurnTracker(obs.SLO{Objective: 0.5, Window: opt.SLO.Window},
 		func() (float64, float64) {
@@ -176,6 +183,11 @@ func NewServer(store *Store, opt ServerOptions) *Server {
 		})
 	return s
 }
+
+// Recorder returns the flight recorder behind GET /v1/stats. Tests (and
+// in-process embedders that never call Serve) can drive it manually via
+// Sample.
+func (s *Server) Recorder() *flight.Recorder { return s.recorder }
 
 // sampleRequests sums the request-duration series into cumulative (total,
 // errors) counts; 5xx and 429 responses count as errors.
@@ -277,6 +289,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
 	mux.HandleFunc("GET /v1/devices/{id}", s.instrument("device", s.handleDevice))
 	mux.HandleFunc("GET /v1/audit/flagged", s.instrument("flagged", s.handleFlagged))
+	mux.Handle("GET /v1/stats", s.recorder.Handler())
 	obsMux := obs.NewMux(s.opt.Registry)
 	mux.Handle("/metrics", obsMux)
 	mux.HandleFunc("/healthz", s.healthz)
@@ -596,6 +609,11 @@ func (s *Server) httpServer() *http.Server {
 // a clean drain.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	srv := s.httpServer()
+	// The flight recorder ticks for the server's lifetime so /v1/stats has
+	// history; it stops with the drain (the ring stays queryable in-process).
+	recDone := make(chan struct{})
+	go s.recorder.Run(recDone)
+	defer close(recDone)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
@@ -774,5 +775,86 @@ func TestWALStalledHealthAndPersistErrors(t *testing.T) {
 			t.Fatalf("/healthz never recovered after WAL unstuck: %d %s", code, body)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStatsEndpoint: the route table mounts the flight recorder at GET
+// /v1/stats, so operators get rate/quantile history from the same port
+// that serves /metrics.
+func TestStatsEndpoint(t *testing.T) {
+	devices, _ := testFleet(t, 1, 32)
+	srv, ts := newTestServer(t, StoreOptions{Seed: 11}, ServerOptions{})
+	c := ts.Client()
+	if code, _ := post(t, c, ts.URL+"/v1/enroll", enrollBody(devices[0])); code != http.StatusOK {
+		t.Fatal("enroll failed")
+	}
+	// Handler() alone never starts the tick loop (Serve does); drive the
+	// recorder by hand so the test is deterministic.
+	srv.Recorder().Sample()
+
+	code, body := get(t, c, ts.URL+"/v1/stats?series=ropuf_authserve_devices")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/stats: %d %s", code, body)
+	}
+	text := string(body)
+	if !strings.Contains(text, `"name":"ropuf_authserve_devices"`) ||
+		!strings.Contains(text, ",1]") {
+		t.Fatalf("/v1/stats missing enrolled-device history:\n%s", text)
+	}
+	if code, _ := post(t, c, ts.URL+"/v1/stats", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats answered %d, want 405", code)
+	}
+}
+
+// TestShardDeviceGauges: enrollments surface as per-shard device counts,
+// both live and after recovery from disk.
+func TestShardDeviceGauges(t *testing.T) {
+	devices, _ := testFleet(t, 4, 16)
+	dir := t.TempDir()
+	// Store and server share one registry, as the serve command wires them.
+	shared := obs.NewRegistry()
+	sopt := StoreOptions{Seed: 5, Shards: 4, Dir: dir, Registry: shared}
+	_, ts := newTestServer(t, sopt, ServerOptions{Registry: shared})
+	c := ts.Client()
+	for _, d := range devices {
+		if code, _ := post(t, c, ts.URL+"/v1/enroll", enrollBody(d)); code != http.StatusOK {
+			t.Fatal("enroll failed")
+		}
+	}
+	sum := func(text string) int {
+		total := 0
+		for _, line := range strings.Split(text, "\n") {
+			if !strings.HasPrefix(line, "ropuf_authserve_shard_devices{") {
+				continue
+			}
+			var shard string
+			var n int
+			if _, err := fmt.Sscanf(line, `ropuf_authserve_shard_devices{shard="%4s"} %d`, &shard, &n); err != nil {
+				t.Fatalf("unparseable shard gauge line %q: %v", line, err)
+			}
+			total += n
+		}
+		return total
+	}
+	_, body := get(t, c, ts.URL+"/metrics")
+	if got := sum(string(body)); got != len(devices) {
+		t.Fatalf("live shard gauges sum to %d, want %d:\n%s", got, len(devices), body)
+	}
+
+	// Reopen from disk: the gauges must be rebuilt from recovered state,
+	// not start at zero.
+	reg := obs.NewRegistry()
+	sopt.Registry = reg
+	restored, err := Open(sopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(b.String()); got != len(devices) {
+		t.Fatalf("recovered shard gauges sum to %d, want %d:\n%s", got, len(devices), b.String())
 	}
 }

@@ -155,10 +155,11 @@ type Store struct {
 	// they are recent.
 	walFailures atomic.Int64
 
-	walFsyncDur *obs.Histogram
-	walRecords  *obs.CounterVec
-	walBytes    *obs.Counter
-	compactions *obs.Counter
+	walFsyncDur  *obs.Histogram
+	walRecords   *obs.CounterVec
+	walBytes     *obs.Counter
+	compactions  *obs.Counter
+	shardDevices *obs.GaugeVec
 
 	compact   *compactor
 	closeOnce sync.Once
@@ -207,6 +208,7 @@ type shard struct {
 	nonceRNG    *rngx.RNG
 	outstanding map[string]*auth.Challenge // challenge ID -> issued challenge
 	stats       map[string]*devStats       // rolling consumption telemetry (memory-only)
+	label       string                     // zero-padded shard index, for metric labels
 	path        string                     // snapshot file; "" = persistence off
 	wal         *wal                       // append-only mutation log; nil = persistence off
 	syncWrites  bool                       // fsync snapshot files + parent dir (FsyncAlways)
@@ -257,6 +259,9 @@ func Open(opt StoreOptions) (*Store, error) {
 	reg.NewCounterFunc("ropuf_authserve_wal_append_failures_total",
 		"WAL appends/resets that failed (each failed a mutating request).",
 		func() float64 { return float64(s.walFailures.Load()) })
+	s.shardDevices = reg.NewGaugeVec("ropuf_authserve_shard_devices",
+		"Devices enrolled per shard — a skewed distribution here means the "+
+			"FNV placement is fighting the ID scheme.", "shard")
 
 	if opt.Dir != "" {
 		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
@@ -274,6 +279,7 @@ func Open(opt StoreOptions) (*Store, error) {
 			nonceRNG:    parent.Split(),
 			outstanding: make(map[string]*auth.Challenge),
 			stats:       make(map[string]*devStats),
+			label:       fmt.Sprintf("%04d", i),
 			syncWrites:  opt.Fsync == FsyncAlways,
 		}
 		if opt.Dir != "" {
@@ -317,6 +323,7 @@ func Open(opt StoreOptions) (*Store, error) {
 			tornBytes += torn
 		}
 		restored += int64(sh.v.NumDevices())
+		s.shardDevices.With(sh.label).Set(float64(sh.v.NumDevices()))
 		s.shards[i] = sh
 	}
 	span.SetAttr("records", strconv.FormatInt(replayed, 10))
@@ -463,6 +470,7 @@ func (s *Store) Enroll(id string, pairs []core.Pair, mode core.Mode) (DeviceInfo
 		}
 	}
 	sh.statsFor(id).enrolls++
+	s.shardDevices.With(sh.label).Add(1)
 	fresh, _ := sh.v.NumFresh(id)
 	return DeviceInfo{
 		ID:    id,

@@ -593,9 +593,12 @@ func TestBackgroundCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Threshold far below one enrollment record, so every enroll kicks
-	// the compactor.
-	opt := StoreOptions{Shards: 1, Dir: dir, CompactBytes: 256}
+	// Threshold far below one enrollment record (~220 bytes with header),
+	// so every enroll kicks the compactor — including the last one. A
+	// threshold above one record can strand a sub-threshold tail that
+	// nothing ever kicks for (that tail is fine for recovery, but this
+	// test wants the log fully folded).
+	opt := StoreOptions{Shards: 1, Dir: dir, CompactBytes: 64}
 	store, err := Open(opt)
 	if err != nil {
 		t.Fatal(err)

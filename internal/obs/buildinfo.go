@@ -1,0 +1,46 @@
+package obs
+
+import "runtime/debug"
+
+// RegisterBuildInfo registers the ropuf_build_info info gauge — constant
+// value 1 with the toolchain version and VCS revision as labels — so
+// pollers like `ropuf watch` can label a target with what build it is
+// talking to without a side-channel. Registration is idempotent on a
+// registry (same family signature), so every component can call it.
+func RegisterBuildInfo(reg *Registry) {
+	goVersion, revision := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion, revision = buildInfoLabels(bi)
+	}
+	registerBuildInfo(reg, goVersion, revision)
+}
+
+// buildInfoLabels extracts the exposed labels from a build-info record:
+// the Go toolchain version and the vcs.revision setting (with a +dirty
+// suffix when the tree was modified), "unknown" when the binary was built
+// without VCS stamping (go test, go run).
+func buildInfoLabels(bi *debug.BuildInfo) (goVersion, revision string) {
+	goVersion, revision = bi.GoVersion, "unknown"
+	if goVersion == "" {
+		goVersion = "unknown"
+	}
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && revision != "unknown" {
+		revision += "+dirty"
+	}
+	return goVersion, revision
+}
+
+func registerBuildInfo(reg *Registry, goVersion, revision string) {
+	reg.NewGaugeVec("ropuf_build_info",
+		"Build metadata as labels; the value is always 1.",
+		"go_version", "vcs_revision").With(goVersion, revision).Set(1)
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// TestBuildInfoExpositionGolden pins the exact exposition of the info
+// gauge for fixed label values.
+func TestBuildInfoExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	registerBuildInfo(r, "go1.24.0", "abc123")
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP ropuf_build_info Build metadata as labels; the value is always 1.\n" +
+		"# TYPE ropuf_build_info gauge\n" +
+		`ropuf_build_info{go_version="go1.24.0",vcs_revision="abc123"} 1` + "\n"
+	if b.String() != want {
+		t.Fatalf("build-info exposition drifted.\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestBuildInfoLabels(t *testing.T) {
+	cases := []struct {
+		name            string
+		bi              *debug.BuildInfo
+		wantGo, wantRev string
+	}{
+		{
+			"no vcs stamping",
+			&debug.BuildInfo{GoVersion: "go1.24.0"},
+			"go1.24.0", "unknown",
+		},
+		{
+			"clean revision",
+			&debug.BuildInfo{GoVersion: "go1.24.0", Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "deadbeef"},
+				{Key: "vcs.modified", Value: "false"},
+			}},
+			"go1.24.0", "deadbeef",
+		},
+		{
+			"dirty tree",
+			&debug.BuildInfo{GoVersion: "go1.24.0", Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "deadbeef"},
+				{Key: "vcs.modified", Value: "true"},
+			}},
+			"go1.24.0", "deadbeef+dirty",
+		},
+		{
+			"dirty without revision stays unknown",
+			&debug.BuildInfo{GoVersion: "", Settings: []debug.BuildSetting{
+				{Key: "vcs.modified", Value: "true"},
+			}},
+			"unknown", "unknown",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gv, rev := buildInfoLabels(tc.bi)
+			if gv != tc.wantGo || rev != tc.wantRev {
+				t.Fatalf("got (%q, %q), want (%q, %q)", gv, rev, tc.wantGo, tc.wantRev)
+			}
+		})
+	}
+}
+
+// TestRegisterBuildInfoIdempotent: every component calls it, so double
+// registration must not panic and must keep one series.
+func TestRegisterBuildInfoIdempotent(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	RegisterBuildInfo(r)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "ropuf_build_info{"); n != 1 {
+		t.Fatalf("got %d ropuf_build_info series, want 1:\n%s", n, b.String())
+	}
+}

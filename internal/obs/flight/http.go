@@ -1,0 +1,129 @@
+package flight
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler serves GET /v1/stats range-vector queries over the recorder:
+//
+//	GET /v1/stats?series=<name>[,<name>...]&since=<when>&until=<when>
+//
+// where <name> is a derived series name ("x_total:rate", "x_seconds:p99")
+// or a base family name (matching all of its derived series), and <when>
+// is a Go duration relative to now ("30s", "5m"), a unix timestamp in
+// (possibly fractional) seconds, or an RFC3339 time. Omitted parameters
+// leave the range open / select everything.
+//
+// The response is deterministic for a given ring state: series sorted by
+// name then labels, points in ascending time order as [unix_seconds,
+// value] pairs with fixed formatting (bit-stable, pinned by a golden
+// test). Absent points (series not yet born, first tick of a rate) are
+// skipped rather than nulled.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		now := r.opt.Now()
+		var q QueryOptions
+		if s := req.URL.Query().Get("series"); s != "" {
+			q.Series = strings.Split(s, ",")
+		}
+		var err error
+		if q.Since, err = parseWhen(req.URL.Query().Get("since"), now); err != nil {
+			http.Error(w, fmt.Sprintf("bad since: %v", err), http.StatusBadRequest)
+			return
+		}
+		if q.Until, err = parseWhen(req.URL.Query().Get("until"), now); err != nil {
+			http.Error(w, fmt.Sprintf("bad until: %v", err), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(renderJSON(now, r.opt.Interval, r.Query(q)))
+	})
+}
+
+// parseWhen interprets a since/until parameter; empty means open.
+func parseWhen(s string, now time.Time) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		if d < 0 {
+			d = -d
+		}
+		return now.Add(-d), nil
+	}
+	if sec, err := strconv.ParseFloat(s, 64); err == nil {
+		return time.Unix(0, int64(sec*1e9)), nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("%q is not a duration, unix seconds, or RFC3339 time", s)
+}
+
+// renderJSON writes the response by hand so the bytes are a pure function
+// of the data: encoding/json would be deterministic too, but explicit
+// formatting keeps the float rendering (shortest round-trip, 3-decimal
+// timestamps) pinned independently of the stdlib's choices, and lets NaN
+// points be skipped instead of crashing the encoder.
+func renderJSON(now time.Time, interval time.Duration, series []RangeSeries) []byte {
+	var b strings.Builder
+	b.WriteString("{\"now\":")
+	b.WriteString(formatTS(now))
+	b.WriteString(",\"interval_seconds\":")
+	b.WriteString(strconv.FormatFloat(interval.Seconds(), 'g', -1, 64))
+	b.WriteString(",\"series\":[")
+	for i, s := range series {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("{\"name\":")
+		b.WriteString(strconv.Quote(s.Name))
+		if len(s.Labels) > 0 {
+			b.WriteString(",\"labels\":{")
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for j, k := range keys {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Quote(k))
+				b.WriteByte(':')
+				b.WriteString(strconv.Quote(s.Labels[k]))
+			}
+			b.WriteByte('}')
+		}
+		b.WriteString(",\"points\":[")
+		for j, p := range s.Points {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('[')
+			b.WriteString(formatTS(p.TS))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(p.Value, 'g', -1, 64))
+			b.WriteByte(']')
+		}
+		b.WriteString("]}")
+	}
+	b.WriteString("]}\n")
+	return []byte(b.String())
+}
+
+// formatTS renders a timestamp as unix seconds with millisecond
+// precision, enough for a 1s default tick while keeping the JSON compact
+// and stable.
+func formatTS(t time.Time) string {
+	return strconv.FormatFloat(float64(t.UnixMilli())/1e3, 'f', 3, 64)
+}

@@ -1,0 +1,127 @@
+package flight
+
+import (
+	"flag"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildRecorder assembles a deterministic ring: three ticks over a
+// counter, a labelled gauge (hostile label value included), and a
+// histogram.
+func buildRecorder() (*Recorder, *clock) {
+	src := &fakeSource{}
+	clk := newClock()
+	rec := NewRecorder(src.snapshot, Options{Now: clk.now})
+	state := func(c float64, g float64, h int64) []Family {
+		return []Family{
+			counterFam("ropuf_watch_test_requests_total", c),
+			{Name: "ropuf_watch_test_depth", Kind: Gauge, Series: []Series{
+				{Labels: map[string]string{"queue": `q"1\` + "\n"}, Value: g},
+			}},
+			histFam("ropuf_watch_test_latency_seconds",
+				[]Bucket{{0.01, h}, {0.1, 2 * h}, {math.Inf(1), 2 * h}}, 2*h, float64(h)*0.05),
+		}
+	}
+	src.set(state(0, 1, 0))
+	rec.Sample()
+	clk.advance(time.Second)
+	src.set(state(10, 2, 5))
+	rec.Sample()
+	clk.advance(time.Second)
+	src.set(state(30, 3, 15))
+	rec.Sample()
+	return rec, clk
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr.Code, rr.Body.String()
+}
+
+// TestStatsGolden pins the full /v1/stats response bytes: the JSON must
+// be bit-stable for a given ring state, since `ropuf watch` and CI diffs
+// depend on the format not drifting silently.
+func TestStatsGolden(t *testing.T) {
+	rec, _ := buildRecorder()
+	code, body := get(t, rec.Handler(), "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	golden := filepath.Join("testdata", "stats_v1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if body != string(want) {
+		t.Fatalf("stats JSON drifted from golden.\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+func TestStatsQueryParams(t *testing.T) {
+	rec, clk := buildRecorder()
+	h := rec.Handler()
+
+	// series filter: only the named derived series.
+	code, body := get(t, h, "/v1/stats?series=ropuf_watch_test_requests_total:rate")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "ropuf_watch_test_requests_total:rate") ||
+		strings.Contains(body, "ropuf_watch_test_depth") {
+		t.Fatalf("series filter leaked: %s", body)
+	}
+
+	// since as a duration: only the final tick's points remain.
+	code, body = get(t, h, "/v1/stats?series=ropuf_watch_test_depth&since=500ms")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if strings.Count(body, "[") != 3 { // series array + 1 point
+		t.Fatalf("since=500ms should leave one point: %s", body)
+	}
+	if !strings.Contains(body, ",3]") {
+		t.Fatalf("since window kept the wrong point: %s", body)
+	}
+
+	// since as an RFC3339 timestamp.
+	since := clk.now().Add(-1500 * time.Millisecond)
+	code, body = get(t, h, "/v1/stats?series=ropuf_watch_test_depth&since="+
+		since.UTC().Format(time.RFC3339))
+	if code != http.StatusOK {
+		t.Fatalf("RFC3339 since rejected: %d %s", code, body)
+	}
+
+	// garbage since: 400, not a silent full range.
+	code, _ = get(t, h, "/v1/stats?since=yesterdayish")
+	if code != http.StatusBadRequest {
+		t.Fatalf("garbage since answered %d, want 400", code)
+	}
+
+	// non-GET: 405.
+	req := httptest.NewRequest(http.MethodPost, "/v1/stats", nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST answered %d, want 405", rr.Code)
+	}
+}

@@ -1,0 +1,85 @@
+package flight
+
+import "math"
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of a histogram from its
+// cumulative bucket counts (+Inf bucket last), using linear interpolation
+// inside the containing bucket the way Prometheus' histogram_quantile
+// does. The same estimator serves the recorder's per-tick p50/p90/p99 and
+// `ropuf watch`'s window quantiles, so the two always agree.
+//
+// Edge cases (pinned by tests):
+//   - no observations, no buckets, or q outside [0, 1] → NaN
+//   - the rank lands in the +Inf bucket → the last finite upper bound
+//     (there is no width to interpolate into)
+//   - only the +Inf bucket has mass and no finite bound exists → NaN
+//   - the first finite bucket assumes a lower bound of 0 when its upper
+//     bound is positive, else the bucket's own upper bound (no negative
+//     extrapolation from a single bound)
+//   - empty buckets (ties in the cumulative counts) contribute no width:
+//     the rank can only land in a bucket that actually gained mass
+func Quantile(q float64, buckets []Bucket) float64 {
+	if math.IsNaN(q) || q < 0 || q > 1 || len(buckets) == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].Count
+	if total <= 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1 // the quantile of a finite sample is one of its points
+	}
+	idx := 0
+	for idx < len(buckets) && float64(buckets[idx].Count) < rank {
+		idx++
+	}
+	if idx >= len(buckets) {
+		idx = len(buckets) - 1
+	}
+	b := buckets[idx]
+	if math.IsInf(b.UpperBound, 1) {
+		// Mass beyond the last finite bound: report that bound.
+		if idx == 0 {
+			return math.NaN() // only a +Inf bucket; no scale information
+		}
+		return buckets[idx-1].UpperBound
+	}
+	lower, prevCount := 0.0, int64(0)
+	if idx > 0 {
+		lower = buckets[idx-1].UpperBound
+		prevCount = buckets[idx-1].Count
+	} else if b.UpperBound <= 0 {
+		lower = b.UpperBound
+	}
+	width := b.UpperBound - lower
+	inBucket := b.Count - prevCount
+	if inBucket <= 0 || width <= 0 {
+		return b.UpperBound
+	}
+	return lower + width*(rank-float64(prevCount))/float64(inBucket)
+}
+
+// DeltaBuckets subtracts two cumulative bucket readings (cur - prev),
+// returning the window's cumulative counts. A shrinking count (process
+// restart) or mismatched layout treats prev as empty, so the delta is the
+// current reading rather than garbage.
+func DeltaBuckets(cur, prev []Bucket) []Bucket {
+	reset := len(prev) != len(cur)
+	if !reset {
+		for i := range cur {
+			if cur[i].UpperBound != prev[i].UpperBound || cur[i].Count < prev[i].Count {
+				reset = true
+				break
+			}
+		}
+	}
+	out := make([]Bucket, len(cur))
+	for i, b := range cur {
+		out[i] = b
+		if !reset {
+			out[i].Count -= prev[i].Count
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package flight
+
+import (
+	"math"
+	"testing"
+)
+
+func inf() float64 { return math.Inf(1) }
+
+func TestQuantileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		q       float64
+		buckets []Bucket
+		want    float64 // NaN means "want NaN"
+	}{
+		{"empty histogram", 0.5, []Bucket{{1, 0}, {2, 0}, {inf(), 0}}, math.NaN()},
+		{"no buckets", 0.5, nil, math.NaN()},
+		{"q below range", -0.1, []Bucket{{1, 5}, {inf(), 5}}, math.NaN()},
+		{"q above range", 1.1, []Bucket{{1, 5}, {inf(), 5}}, math.NaN()},
+		{"q NaN", math.NaN(), []Bucket{{1, 5}, {inf(), 5}}, math.NaN()},
+		// A single finite bucket: every quantile interpolates inside it
+		// from the assumed 0 lower bound.
+		{"single bucket p50", 0.5, []Bucket{{2, 10}, {inf(), 10}}, 1.0},
+		{"single bucket p100", 1.0, []Bucket{{2, 10}, {inf(), 10}}, 2.0},
+		// All mass in +Inf: no width to interpolate, report the last
+		// finite bound.
+		{"all mass in +Inf", 0.5, []Bucket{{1, 0}, {2, 0}, {inf(), 7}}, 2.0},
+		{"only +Inf bucket", 0.5, []Bucket{{inf(), 7}}, math.NaN()},
+		// Ties: empty middle buckets contribute no width; the rank lands
+		// in the bucket that actually gained mass.
+		{"tie skips empty bucket", 0.75, []Bucket{{1, 4}, {2, 4}, {3, 8}, {inf(), 8}}, 2.5},
+		{"tie at exact cumulative", 0.5, []Bucket{{1, 5}, {2, 5}, {inf(), 10}}, 1.0},
+		// Plain interpolation sanity.
+		{"uniform p50", 0.5, []Bucket{{1, 10}, {2, 20}, {inf(), 20}}, 1.0},
+		{"uniform p75", 0.75, []Bucket{{1, 10}, {2, 20}, {inf(), 20}}, 1.5},
+		{"uniform p99", 0.99, []Bucket{{1, 10}, {2, 20}, {inf(), 20}}, 1.98},
+		// One observation: every quantile is that bucket.
+		{"single observation", 0.99, []Bucket{{0.005, 0}, {0.01, 1}, {inf(), 1}}, 0.01},
+		// Negative-only bound: no interpolation below the bound.
+		{"negative first bucket", 0.5, []Bucket{{-1, 3}, {inf(), 3}}, -1.0},
+		{"q zero picks first point", 0, []Bucket{{1, 2}, {2, 4}, {inf(), 4}}, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Quantile(tc.q, tc.buckets)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Quantile(%g) = %g, want NaN", tc.q, got)
+				}
+				return
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestQuantileMonotoneInQ(t *testing.T) {
+	buckets := []Bucket{{0.001, 3}, {0.01, 10}, {0.1, 11}, {1, 40}, {inf(), 41}}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := Quantile(q, buckets)
+		if math.IsNaN(v) {
+			t.Fatalf("Quantile(%g) = NaN", q)
+		}
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%g gave %g after %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestDeltaBuckets(t *testing.T) {
+	cur := []Bucket{{1, 5}, {2, 9}, {inf(), 12}}
+	prev := []Bucket{{1, 2}, {2, 3}, {inf(), 3}}
+	got := DeltaBuckets(cur, prev)
+	want := []Bucket{{1, 3}, {2, 6}, {inf(), 9}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DeltaBuckets[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// A shrinking count means the process restarted: the delta is the
+	// current reading, not negative garbage.
+	got = DeltaBuckets(prev, cur)
+	for i := range prev {
+		if got[i] != prev[i] {
+			t.Fatalf("reset DeltaBuckets[%d] = %+v, want current reading %+v", i, got[i], prev[i])
+		}
+	}
+	// Mismatched layouts reset too.
+	got = DeltaBuckets(cur, []Bucket{{1, 1}, {inf(), 1}})
+	for i := range cur {
+		if got[i] != cur[i] {
+			t.Fatalf("layout-change DeltaBuckets[%d] = %+v, want %+v", i, got[i], cur[i])
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"time"
+
+	"ropuf/internal/obs/flight"
+)
+
+// FlightFamilies adapts the registry's snapshot to the flight recorder's
+// neutral input shape. flight deliberately does not import obs (obs
+// imports flight so Serve can mount a recorder), so the conversion lives
+// on this side of the boundary.
+func (r *Registry) FlightFamilies() []flight.Family {
+	snap := r.Snapshot()
+	fams := make([]flight.Family, 0, len(snap.Families))
+	for _, f := range snap.Families {
+		ff := flight.Family{Name: f.Name, Kind: flight.Kind(f.Kind)}
+		for _, s := range f.Series {
+			fs := flight.Series{Labels: s.Labels, Value: s.Value, Count: s.Count, Sum: s.Sum}
+			if len(s.Buckets) > 0 {
+				fs.Buckets = make([]flight.Bucket, len(s.Buckets))
+				for i, b := range s.Buckets {
+					fs.Buckets[i] = flight.Bucket{UpperBound: b.UpperBound, Count: b.Count}
+				}
+			}
+			ff.Series = append(ff.Series, fs)
+		}
+		fams = append(fams, ff)
+	}
+	return fams
+}
+
+// NewFlightRecorder builds a flight recorder sampling reg. A zero
+// interval means the recorder's 1s default.
+func NewFlightRecorder(reg *Registry, interval time.Duration) *flight.Recorder {
+	return flight.NewRecorder(reg.FlightFamilies, flight.Options{Interval: interval})
+}

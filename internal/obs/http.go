@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"ropuf/internal/obs/flight"
 )
 
 // HealthReason is one machine-readable cause of degradation.
@@ -106,19 +108,36 @@ func HardenServer(srv *http.Server) *http.Server {
 
 // Server is a background observability HTTP server.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln       net.Listener
+	srv      *http.Server
+	recorder *flight.Recorder
+	stopRec  chan struct{}
 }
 
 // Serve binds addr (e.g. ":9090", "127.0.0.1:0") and serves the NewMux
-// handler in a background goroutine. The returned server reports its bound
-// address via Addr — useful with port 0 — and stops via Close.
+// handler in a background goroutine, plus GET /v1/stats backed by a
+// flight recorder sampling reg every second — every binary that serves
+// /metrics this way gains bounded time-series history for free (the
+// sampler reads the registry; nothing touches request hot paths). The
+// ropuf_build_info gauge is registered so pollers can label the target.
+// The returned server reports its bound address via Addr — useful with
+// port 0 — and stops (recorder included) via Close.
 func Serve(addr string, reg *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: HardenServer(&http.Server{Handler: NewMux(reg)})}
+	RegisterBuildInfo(reg)
+	rec := NewFlightRecorder(reg, 0)
+	mux := NewMux(reg)
+	mux.Handle("GET /v1/stats", rec.Handler())
+	s := &Server{
+		ln:       ln,
+		srv:      HardenServer(&http.Server{Handler: mux}),
+		recorder: rec,
+		stopRec:  make(chan struct{}),
+	}
+	go rec.Run(s.stopRec)
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -126,9 +145,13 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down, allowing up to two seconds for in-flight
-// scrapes to finish.
+// Recorder returns the flight recorder backing /v1/stats.
+func (s *Server) Recorder() *flight.Recorder { return s.recorder }
+
+// Close stops the flight recorder and shuts the server down, allowing up
+// to two seconds for in-flight scrapes to finish.
 func (s *Server) Close() error {
+	close(s.stopRec)
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	return s.srv.Shutdown(ctx)

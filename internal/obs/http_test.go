@@ -185,3 +185,44 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	defer srv2.Close()
 }
+
+// TestServeStatsAndBuildInfo: obs.Serve mounts the flight recorder at
+// /v1/stats and registers ropuf_build_info, so every obs-served binary
+// gains both without code of its own.
+func TestServeStatsAndBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewGauge("stats_probe", "").Set(4)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "ropuf_build_info{") {
+		t.Fatalf("/metrics missing ropuf_build_info:\n%s", body)
+	}
+
+	// Serve samples once at startup, so the gauge has history immediately.
+	resp, err = http.Get("http://" + srv.Addr() + "/v1/stats?series=stats_probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/v1/stats Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), `"name":"stats_probe"`) ||
+		!strings.Contains(string(body), ",4]") {
+		t.Fatalf("/v1/stats body missing sampled gauge:\n%s", body)
+	}
+}

@@ -518,23 +518,31 @@ func (f *family) labelString(s *series, le string) string {
 	}
 	var b strings.Builder
 	b.WriteByte('{')
-	// %q escapes backslash, double quote, and newline exactly the way the
-	// Prometheus text format wants label values escaped.
 	for i, name := range f.labels {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", name, s.labelValues[i])
+		fmt.Fprintf(&b, `%s="%s"`, name, escapeLabel(s.labelValues[i]))
 	}
 	if le != "" {
 		if len(f.labels) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "le=%q", le)
+		fmt.Fprintf(&b, `le="%s"`, le)
 	}
 	b.WriteByte('}')
 	return b.String()
 }
+
+// labelEscaper applies the Prometheus text-format label escapes — and
+// only those. The format defines exactly three escape sequences (\\, \",
+// \n); every other byte, including tabs and other control characters, is
+// emitted literally. The previous %q-based escaping rendered a tab as \t,
+// which a spec-compliant parser must reject (or read as a literal
+// backslash-t) — the promtext round-trip property test pins the fix.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
 
 // formatValue renders a float the way Prometheus expects: shortest
 // round-trip representation, integral values without an exponent.

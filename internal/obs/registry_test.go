@@ -74,6 +74,33 @@ func TestLabelledSeriesSortedAndEscaped(t *testing.T) {
 	}
 }
 
+// TestLabelEscapingSpec pins the exposition escaping to the three
+// sequences the text format defines: \\ for backslash, \" for quote, \n
+// for newline. Everything else — tabs included — passes through raw; the
+// old %q-based writer emitted \t, which spec-compliant parsers reject.
+func TestLabelEscapingSpec(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{"tab\there", "tab\there"},
+		{"héllo-世界", "héllo-世界"},
+		{"\x01control", "\x01control"},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		r.NewGaugeVec("esc", "", "v").With(tc.in).Set(1)
+		var b strings.Builder
+		if err := r.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		want := `esc{v="` + tc.want + `"} 1`
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("escaping %q: exposition missing %q:\n%s", tc.in, want, b.String())
+		}
+	}
+}
+
 func TestGauge(t *testing.T) {
 	r := NewRegistry()
 	g := r.NewGauge("queue_depth", "")
@@ -113,11 +140,11 @@ func TestRegistrationIdempotentAndMismatchPanics(t *testing.T) {
 func TestHistogramBucketBoundaries(t *testing.T) {
 	r := NewRegistry()
 	h := r.NewHistogram("lat", "", []float64{0.1, 0.5, 1})
-	h.Observe(0.1)            // exactly on the first bound -> le="0.1"
-	h.Observe(0.10000000001)  // just above -> le="0.5"
-	h.Observe(1)              // exactly on the last finite bound -> le="1"
-	h.Observe(2)              // beyond -> +Inf
-	h.Observe(-1)             // below everything -> le="0.1"
+	h.Observe(0.1)           // exactly on the first bound -> le="0.1"
+	h.Observe(0.10000000001) // just above -> le="0.5"
+	h.Observe(1)             // exactly on the last finite bound -> le="1"
+	h.Observe(2)             // beyond -> +Inf
+	h.Observe(-1)            // below everything -> le="0.1"
 	if h.Count() != 5 {
 		t.Fatalf("Count = %d, want 5", h.Count())
 	}
