@@ -47,10 +47,14 @@ bench:
 # (BenchmarkAuthserveEnroll/Verify + verify latency percentiles), then
 # run the store-level enroll benchmarks against a 1k-device store
 # (BenchmarkStoreEnrollWAL vs the pre-WAL write-through model
-# BenchmarkStoreEnrollSnapshot) and the audit-on vs audit-off verify
+# BenchmarkStoreEnrollSnapshot), the group-commit scaling curve
+# (BenchmarkStoreEnrollWALParallel at clients=1/8/64 — enrolls/s must
+# grow with concurrency; 4000x so each leg runs long enough for the
+# committer to reach steady state) and the audit-on vs audit-off verify
 # handler pair (BenchmarkServerVerifyAuditOn/Off — the steady-state
-# audit overhead budget is <3%, and AuditOn fails outright if any event
-# is dropped). Everything lands in BENCH_authserve.json.
+# audit overhead budget is <3%, allocs/op pins the ≤8 zero-alloc verify
+# budget, and AuditOn fails outright if any event is dropped).
+# Everything lands in BENCH_authserve.json.
 bench-authserve:
 	$(GO) build -o /tmp/ropuf-bench ./cmd/ropuf
 	rm -rf /tmp/ropuf-bench-data && mkdir -p /tmp/ropuf-bench-data
@@ -60,8 +64,9 @@ bench-authserve:
 	/tmp/ropuf-bench loadgen -addr http://127.0.0.1:18081 -devices 1024 -rounds 1 \
 		-bench-out "" || { kill $$SRV; exit 1; }; \
 	kill -INT $$SRV; wait $$SRV; \
-	$(GO) test -run xxx -bench 'BenchmarkStoreEnroll' -benchtime 50x ./internal/authserve; \
-	$(GO) test -run xxx -bench 'BenchmarkServerVerifyAudit' -benchtime 3000x ./internal/authserve ) \
+	$(GO) test -run xxx -bench 'BenchmarkStoreEnroll(WAL|Snapshot)$$' -benchtime 50x ./internal/authserve; \
+	$(GO) test -run xxx -bench 'BenchmarkStoreEnrollWALParallel' -benchtime 4000x ./internal/authserve; \
+	$(GO) test -run xxx -bench 'BenchmarkServerVerifyAudit' -benchtime 3000x -benchmem ./internal/authserve ) \
 		| $(GO) run ./cmd/benchjson -o BENCH_authserve.json
 
 # Every benchmark in the tree, one iteration each (smoke, not measurement).
@@ -124,7 +129,16 @@ datasetgen-smoke:
 # it, asserts GET /v1/audit/flagged lists the device and /healthz
 # degrades with device_abuse, then merges the audit JSONL with both
 # span files via `ropuf audit` (>=99% of traced audit events must match
-# an observed trace) into AUDITSTAT.txt for the CI artifact.
+# an observed trace) into AUDITSTAT.txt for the CI artifact. The last
+# leg proves group commit engages under real concurrent HTTP load (not
+# just in-process benchmarks): 64 loadgen workers enroll 256 devices
+# into a fresh single-shard fsync-always store (one committer, so the
+# whole client pool contends on it — the same isolation argument as
+# BenchmarkStoreEnrollWALParallel), and the server's
+# ropuf_authserve_wal_group_commit_records histogram must show fewer
+# than half of its commits carrying a single record (p50 > 1) — if
+# batching never engaged, every commit lands in the le="1" bucket and
+# the awk gate fails the build.
 serve-smoke:
 	$(GO) build -o /tmp/ropuf-smoke ./cmd/ropuf
 	rm -rf /tmp/ropuf-smoke-data && mkdir -p /tmp/ropuf-smoke-data
@@ -177,6 +191,22 @@ serve-smoke:
 		-spans /tmp/ropuf-harvest-data/loadgen.jsonl,/tmp/ropuf-harvest-data/authserve.jsonl \
 		/tmp/ropuf-harvest-data/audit.jsonl \
 		| tee AUDITSTAT.txt
+	rm -rf /tmp/ropuf-group-data && mkdir -p /tmp/ropuf-group-data
+	/tmp/ropuf-smoke serve -addr 127.0.0.1:18087 -data /tmp/ropuf-group-data -shards 1 & \
+	SRV=$$!; sleep 1; \
+	/tmp/ropuf-smoke loadgen -addr http://127.0.0.1:18087 -mode enroll \
+		-devices 256 -pairs 8 -concurrency 64 -bench-out "" \
+		|| { echo "enroll-mode loadgen failed"; kill $$SRV; exit 1; }; \
+	curl -sf http://127.0.0.1:18087/metrics | awk ' \
+		/^ropuf_authserve_wal_group_commit_records_bucket\{le="1"\}/ { le1 = $$2 } \
+		/^ropuf_authserve_wal_group_commit_records_count/ { count = $$2 } \
+		END { \
+			if (count + 0 == 0) { print "no WAL group commits recorded"; exit 1 } \
+			if (le1 * 2 >= count) { \
+				printf "group commit not engaging: %d of %d commits were single-record\n", le1, count; exit 1 } \
+			printf "group commit engaged: %d commits, %d single-record\n", count, le1 }' \
+		|| { kill $$SRV; exit 1; }; \
+	kill -INT $$SRV; wait $$SRV
 	$(MAKE) watch-smoke
 
 # Fleet observability leg: `ropuf watch` polls two live serve instances plus

@@ -55,6 +55,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 	k := fs.Int("k", 16, "challenge length (bits per authentication)")
 	rounds := fs.Int("rounds", 0, "verify rounds per device (0 = until its pairs run out)")
 	concurrency := fs.Int("concurrency", 32, "concurrent client workers")
+	mode := fs.String("mode", "full", "load shape: full (enroll+challenge+verify) or enroll (time the enroll phase only — the group-commit WAL benchmark)")
 	noise := fs.Float64("noise", 2, "re-measurement noise sigma (ps)")
 	seed := fs.Uint64("seed", 1, "fleet fabrication seed")
 	enrollWire := fs.String("enroll-wire", "binary", "enroll request encoding: binary (application/x-ropuf-enroll) or json")
@@ -72,6 +73,12 @@ func runLoadgen(ctx context.Context, args []string) error {
 
 	if *enrollWire != "binary" && *enrollWire != "json" {
 		return fmt.Errorf("loadgen: -enroll-wire must be binary or json, got %q", *enrollWire)
+	}
+	if *mode != "full" && *mode != "enroll" {
+		return fmt.Errorf("loadgen: -mode must be full or enroll, got %q", *mode)
+	}
+	if *harvest && *mode != "full" {
+		return fmt.Errorf("loadgen: -harvest needs -mode full")
 	}
 	// The client keeps its own request metrics: during an incident the
 	// delta between client-observed and server-observed rate/latency is
@@ -98,13 +105,24 @@ func runLoadgen(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	provers := make([]*auth.Prover, len(devices))
-	for i, d := range devices {
-		enr, err := core.Enroll(d.Pairs, core.Case2, 0, core.Options{})
+	// The local prover enrollments are pure CPU (selection over every pair
+	// of every device) and independent per device, so they fan out across
+	// the worker pool instead of serializing in front of the load phases.
+	// Enroll-only runs never answer challenges and skip the prep entirely.
+	var provers []*auth.Prover
+	if *mode != "enroll" {
+		provers = make([]*auth.Prover, len(devices))
+		err = forEach(ctx, *concurrency, len(devices), func(i int) error {
+			enr, err := core.Enroll(devices[i].Pairs, core.Case2, 0, core.Options{})
+			if err != nil {
+				return fmt.Errorf("loadgen: enrolling %s locally: %w", devices[i].ID, err)
+			}
+			provers[i] = &auth.Prover{Enrollment: enr}
+			return nil
+		})
 		if err != nil {
-			return fmt.Errorf("loadgen: enrolling %s locally: %w", d.ID, err)
+			return err
 		}
-		provers[i] = &auth.Prover{Enrollment: enr}
 	}
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        *concurrency,
@@ -123,10 +141,17 @@ func runLoadgen(ctx context.Context, args []string) error {
 		lg.tracer = obs.NewTracer(obs.NewJSONLSink(traceFile), obs.WithService("loadgen"))
 	}
 
-	// Phase 1: enroll the fleet over HTTP.
+	// Phase 1: enroll the fleet over HTTP. Per-request latency is recorded
+	// by device index (race-free without coordination) because enroll-only
+	// runs report percentiles: under the group-commit WAL, concurrent
+	// enrolls share fsyncs, so p50 at -concurrency 64 should sit near the
+	// single-client latency while enroll/s scales.
 	enrollStart := time.Now()
 	freshPerDevice := make([]int, len(devices))
-	err = lg.forEach(ctx, *concurrency, len(devices), func(i int) error {
+	enrollLat := make([]time.Duration, len(devices))
+	err = forEach(ctx, *concurrency, len(devices), func(i int) error {
+		t0 := time.Now()
+		defer func() { enrollLat[i] = time.Since(t0) }()
 		d := devices[i]
 		req := authserve.EnrollRequest{ID: d.ID, Mode: "case2"}
 		for _, p := range d.Pairs {
@@ -170,6 +195,37 @@ func runLoadgen(ctx context.Context, args []string) error {
 		len(devices), enrollElapsed.Round(time.Millisecond),
 		float64(len(devices))/enrollElapsed.Seconds())
 
+	if *mode == "enroll" {
+		sort.Slice(enrollLat, func(i, j int) bool { return enrollLat[i] < enrollLat[j] })
+		pct := func(p float64) time.Duration {
+			return enrollLat[min(int(p*float64(len(enrollLat))), len(enrollLat)-1)]
+		}
+		fmt.Printf("  latency p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), enrollLat[len(enrollLat)-1].Round(time.Microsecond))
+		results := map[string]benchfmt.Result{
+			"BenchmarkAuthserveEnroll": {Iterations: int64(len(devices)),
+				NsPerOp: float64(enrollElapsed.Nanoseconds()) / float64(len(devices))},
+			"BenchmarkAuthserveEnrollLatencyP50": {Iterations: int64(len(devices)), NsPerOp: float64(pct(0.50))},
+			"BenchmarkAuthserveEnrollLatencyP99": {Iterations: int64(len(devices)), NsPerOp: float64(pct(0.99))},
+		}
+		for _, name := range []string{"BenchmarkAuthserveEnroll",
+			"BenchmarkAuthserveEnrollLatencyP50", "BenchmarkAuthserveEnrollLatencyP99"} {
+			fmt.Println(results[name].Line(name))
+		}
+		if *benchOut != "" {
+			data, err := benchfmt.Marshal(results)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
+		return nil
+	}
+
 	if *harvest {
 		return lg.runHarvest(ctx, devices[0].ID, *harvestTimeout)
 	}
@@ -179,7 +235,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 	jobMu := sync.Mutex{}
 	var jobs []verifyJob
 	prepStart := time.Now()
-	err = lg.forEach(ctx, *concurrency, len(devices), func(i int) error {
+	err = forEach(ctx, *concurrency, len(devices), func(i int) error {
 		d := devices[i]
 		n := freshPerDevice[i] / *k
 		if *rounds > 0 && *rounds < n {
@@ -316,8 +372,9 @@ type loadgen struct {
 }
 
 // forEach runs fn(0..n-1) across `workers` goroutines, stopping early on
-// the first error or on context cancellation.
-func (lg *loadgen) forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+// the first error or on context cancellation. It serves both the HTTP
+// load phases and the CPU-bound local prover preparation.
+func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	next := atomic.Int64{}
 	var firstErr atomic.Value
 	var wg sync.WaitGroup

@@ -4,9 +4,14 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ropuf/internal/authserve"
 )
 
 // TestBackoffSchedule pins the capped exponential schedule: base<<attempt,
@@ -117,5 +122,62 @@ func TestPostJSONBackoffGivesUp(t *testing.T) {
 	}
 	if got := calls.Load(); got != 3 {
 		t.Fatalf("server saw %d attempts, want exactly maxAttempts=3", got)
+	}
+}
+
+// TestLoadgenEnrollMode runs the enroll-only load shape end to end against
+// an in-process authserve: it must enroll the whole fleet, report enroll
+// throughput plus latency percentiles, and never touch the challenge or
+// verify routes.
+func TestLoadgenEnrollMode(t *testing.T) {
+	store, err := authserve.Open(authserve.StoreOptions{Shards: 4, Dir: t.TempDir(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := authserve.NewServer(store, authserve.ServerOptions{})
+	var challenges atomic.Int64
+	h := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/challenge" || r.URL.Path == "/v1/verify" {
+			challenges.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err = runLoadgen(context.Background(), []string{
+		"-addr", ts.URL, "-mode", "enroll",
+		"-devices", "8", "-pairs", "4", "-stages", "5", "-concurrency", "4",
+		"-bench-out", out,
+	})
+	if err != nil {
+		t.Fatalf("runLoadgen: %v", err)
+	}
+	if n := store.NumDevices(); n != 8 {
+		t.Fatalf("store has %d devices after enroll run, want 8", n)
+	}
+	if c := challenges.Load(); c != 0 {
+		t.Fatalf("enroll mode sent %d challenge/verify requests, want 0", c)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"BenchmarkAuthserveEnroll", "BenchmarkAuthserveEnrollLatencyP50", "BenchmarkAuthserveEnrollLatencyP99"} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("bench output missing %s:\n%s", key, data)
+		}
+	}
+}
+
+// TestLoadgenModeValidation rejects unknown modes and harvest+enroll.
+func TestLoadgenModeValidation(t *testing.T) {
+	if err := runLoadgen(context.Background(), []string{"-mode", "sideways"}); err == nil {
+		t.Fatal("unknown -mode accepted")
+	}
+	if err := runLoadgen(context.Background(), []string{"-mode", "enroll", "-harvest"}); err == nil {
+		t.Fatal("-harvest with -mode enroll accepted")
 	}
 }

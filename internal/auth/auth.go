@@ -65,6 +65,8 @@ type Challenge struct {
 }
 
 // Verifier is the authentication server: a database of enrolled devices.
+// It is not safe for concurrent use; callers that share one (such as
+// authserve's store shards) must serialize access.
 type Verifier struct {
 	// Tolerance is the maximum acceptable Hamming distance between the
 	// response and the stored reference bits, as a fraction of the
@@ -73,6 +75,15 @@ type Verifier struct {
 
 	devices map[string]*DeviceRecord
 	rng     *rngx.RNG
+
+	// refScratch is reused across Verify calls for the reference bits so
+	// the verify hot path does not allocate. Single-threaded use (see
+	// type comment) makes one scratch per verifier enough; the stream
+	// never escapes a call.
+	refScratch bits.Stream
+	// freshScratch is the reusable fresh-pair index buffer for
+	// NewChallenge; the chosen indices are copied out before returning.
+	freshScratch []int
 }
 
 // NewVerifier creates a verifier with the given noise tolerance fraction.
@@ -232,12 +243,13 @@ func (v *Verifier) NewChallenge(id string, k int) (*Challenge, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("auth: challenge length %d must be positive", k)
 	}
-	var fresh []int
+	fresh := v.freshScratch[:0]
 	for i, u := range rec.used {
 		if !u && rec.Enrollment.Mask[i] {
 			fresh = append(fresh, i)
 		}
 	}
+	v.freshScratch = fresh
 	if len(fresh) < k {
 		return nil, fmt.Errorf("auth: device %q has only %d fresh pairs, need %d: %w", id, len(fresh), k, ErrExhausted)
 	}
@@ -249,27 +261,29 @@ func (v *Verifier) NewChallenge(id string, k int) (*Challenge, error) {
 	return &Challenge{DeviceID: id, Pairs: chosen}, nil
 }
 
-// referenceBits extracts the stored bits for the challenge's pairs.
-func (v *Verifier) referenceBits(ch *Challenge) (*bits.Stream, error) {
+// referenceBits extracts the stored bits for the challenge's pairs into
+// ref, which is reset first. Filling a caller-owned stream keeps Verify
+// allocation-free: the reference lives only for one distance computation.
+func (v *Verifier) referenceBits(ch *Challenge, ref *bits.Stream) error {
 	rec, ok := v.devices[ch.DeviceID]
 	if !ok {
-		return nil, fmt.Errorf("auth: %w %q", ErrUnknownDevice, ch.DeviceID)
+		return fmt.Errorf("auth: %w %q", ErrUnknownDevice, ch.DeviceID)
 	}
-	ref := bits.New(len(ch.Pairs))
+	ref.Reset()
 	for _, i := range ch.Pairs {
 		if i < 0 || i >= len(rec.Enrollment.Selections) {
-			return nil, fmt.Errorf("auth: challenge pair index %d out of range", i)
+			return fmt.Errorf("auth: challenge pair index %d out of range", i)
 		}
 		ref.Append(rec.Enrollment.Selections[i].Bit)
 	}
-	return ref, nil
+	return nil
 }
 
 // Verify checks a device's response against the stored reference.
 // It returns the measured Hamming distance alongside the verdict.
 func (v *Verifier) Verify(ch *Challenge, response *bits.Stream) (ok bool, distance int, err error) {
-	ref, err := v.referenceBits(ch)
-	if err != nil {
+	ref := &v.refScratch
+	if err := v.referenceBits(ch, ref); err != nil {
 		return false, 0, err
 	}
 	if response.Len() != ref.Len() {

@@ -7,8 +7,14 @@ package authserve
 //
 // # State machine
 //
-// A compaction of one shard, under that shard's lock, is two steps:
+// A compaction of one shard, under that shard's lock, is three steps:
 //
+//  0. barrier: flush the group-commit queue (wal.flush). With the fsync
+//     wait decoupled from the shard lock, in-memory state can be ahead
+//     of the durable log; snapshotting such state would persist
+//     mutations whose commit may still fail and roll back. The barrier
+//     waits until every previously submitted record has a verdict —
+//     and holding the shard lock guarantees no new ones race in.
 //  1. snapshot: write the verifier state durably (temp file, fsync,
 //     rename, directory fsync — persistLocked). The snapshot now
 //     contains everything the log does.
@@ -89,7 +95,16 @@ func (s *Store) compactOverThreshold() {
 // holds the shard lock. An empty log is a no-op (the snapshot is already
 // current).
 func (s *Store) compactShardLocked(sh *shard) error {
-	if sh.wal == nil || sh.wal.size == 0 {
+	if sh.wal == nil {
+		return nil
+	}
+	if err := sh.wal.flush(); err != nil {
+		// A failed barrier means a group commit failed (the WAL is
+		// latched broken): the in-memory state contains rolled-back (or
+		// about-to-roll-back) mutations and must not be snapshotted.
+		return err
+	}
+	if sh.wal.committedSize() == 0 {
 		return nil
 	}
 	if err := sh.persistLocked(); err != nil {

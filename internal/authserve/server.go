@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -300,25 +302,42 @@ func (s *Server) Handler() http.Handler {
 // instrument wraps a handler with bounded-queue admission, the per-route
 // latency histogram and request counter, spans (joining the caller's trace
 // when the request carries a valid traceparent header), and request logs.
+//
+// The wrapper is built once per route so the steady-state request pays no
+// setup allocations: the span name is pre-concatenated, the throttle
+// counter is pre-resolved, and the per-(route, code) metric series are
+// cached in a copy-on-write map. The request's working memory (status
+// capture, body buffer, parser arena, response encoding buffer) comes from
+// a pool; see reqScratch.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	spanName := "authserve." + route
+	series := newRouteSeries(s, route)
+	throttled := s.throttled.With(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ctx := r.Context()
+		base := r.Context()
+		ctx := base
 		if sc, ok := obs.Extract(r.Header); ok {
 			ctx = obs.ContextWithRemote(ctx, sc)
 		}
-		ctx, span := s.tracer.Start(ctx, "authserve."+route)
-		r = r.WithContext(ctx)
+		ctx, span := s.tracer.Start(ctx, spanName)
+		if ctx != base {
+			// Only clone the request when something was added: the span, or
+			// a remote trace identity the audit stream stamps events with.
+			r = r.WithContext(ctx)
+		}
 		_, qspan := s.tracer.Start(ctx, "authserve.queue")
 		admitted := s.acquire(ctx)
 		qspan.End()
 		if !admitted {
-			s.throttled.With(route).Inc()
+			throttled.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "server saturated, retry later")
-			span.SetAttr("code", strconv.Itoa(http.StatusTooManyRequests))
-			span.End()
-			s.finish(ctx, route, http.StatusTooManyRequests, start)
+			if span != nil {
+				span.SetAttr("code", strconv.Itoa(http.StatusTooManyRequests))
+				span.End()
+			}
+			s.finish(ctx, series, http.StatusTooManyRequests, start)
 			return
 		}
 		s.inflight.Add(1)
@@ -329,28 +348,84 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		if s.testHookInflight != nil {
 			s.testHookInflight(route)
 		}
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		sw := getScratch(w)
 		h(sw, r)
-		span.SetAttr("code", strconv.Itoa(sw.code))
-		span.End()
-		s.finish(ctx, route, sw.code, start)
+		code := sw.code
+		putScratch(sw)
+		if span != nil {
+			span.SetAttr("code", strconv.Itoa(code))
+			span.End()
+		}
+		s.finish(ctx, series, code, start)
 	}
+}
+
+// codeSeries holds one (route, code) pair's resolved metric handles.
+type codeSeries struct {
+	dur   *obs.Histogram
+	total *obs.Counter
+}
+
+// routeSeries caches codeSeries per status code so finish doesn't pay the
+// variadic With lookup (and its label-slice allocation) on every request.
+// The map grows copy-on-write: codes are created on first use, exactly as
+// the uncached path did, so /metrics exposes the same series as before.
+type routeSeries struct {
+	s     *Server
+	route string
+	mu    sync.Mutex
+	m     atomic.Pointer[map[int]codeSeries]
+}
+
+func newRouteSeries(s *Server, route string) *routeSeries {
+	rs := &routeSeries{s: s, route: route}
+	empty := make(map[int]codeSeries)
+	rs.m.Store(&empty)
+	return rs
+}
+
+func (rs *routeSeries) get(code int) codeSeries {
+	if cs, ok := (*rs.m.Load())[code]; ok {
+		return cs
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	old := *rs.m.Load()
+	if cs, ok := old[code]; ok {
+		return cs
+	}
+	c := strconv.Itoa(code)
+	cs := codeSeries{
+		dur:   rs.s.reqDur.With(rs.route, c),
+		total: rs.s.reqTotal.With(rs.route, c),
+	}
+	next := make(map[int]codeSeries, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[code] = cs
+	rs.m.Store(&next)
+	return cs
 }
 
 // finish records the request's metrics and its structured log line (Debug
 // normally, Warn for 5xx).
-func (s *Server) finish(ctx context.Context, route string, code int, start time.Time) {
-	c := strconv.Itoa(code)
+func (s *Server) finish(ctx context.Context, series *routeSeries, code int, start time.Time) {
+	cs := series.get(code)
 	elapsed := time.Since(start)
-	s.reqDur.With(route, c).Observe(elapsed.Seconds())
-	s.reqTotal.With(route, c).Inc()
+	cs.dur.Observe(elapsed.Seconds())
+	cs.total.Inc()
 	level := slog.LevelDebug
 	if code >= 500 {
 		level = slog.LevelWarn
 	}
-	s.log.LogAttrs(ctx, level, "request",
-		slog.String("route", route), slog.Int("code", code), slog.Duration("elapsed", elapsed))
+	// LogAttrs builds its attr slice before the handler can decline the
+	// record; checking Enabled first keeps the disabled-logger hot path
+	// allocation-free.
+	if s.log.Enabled(ctx, level) {
+		s.log.LogAttrs(ctx, level, "request",
+			slog.String("route", series.route), slog.Int("code", code), slog.Duration("elapsed", elapsed))
+	}
 }
 
 // acquire admits the request into the inflight window, waiting in the
@@ -384,6 +459,100 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// reqScratch is the pooled per-request working set: the status capture
+// every route needs, plus the buffers the hand-coded verify/challenge
+// paths use to run without per-request allocations — request body bytes,
+// the parser's string-unescape arena, the parsed response bits, and the
+// response encoding buffer. Handlers reach it by downcasting their
+// ResponseWriter; a handler invoked with a plain writer (not through
+// instrument) falls back to allocating.
+type reqScratch struct {
+	statusWriter
+	body  []byte
+	arena []byte
+	resp  bits.Stream
+	out   []byte
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &reqScratch{
+		body:  make([]byte, 0, 4096),
+		arena: make([]byte, 0, 256),
+		out:   make([]byte, 0, 1024),
+	}
+}}
+
+func getScratch(w http.ResponseWriter) *reqScratch {
+	sc := scratchPool.Get().(*reqScratch)
+	sc.ResponseWriter = w
+	sc.code = http.StatusOK
+	return sc
+}
+
+// scratchKeepBytes bounds pooled buffer retention: a rare oversized body
+// (the cap is maxBodyBytes) must not pin megabytes in the pool forever.
+const scratchKeepBytes = 1 << 20
+
+func putScratch(sc *reqScratch) {
+	sc.ResponseWriter = nil
+	if cap(sc.body) > scratchKeepBytes {
+		sc.body = nil
+	}
+	if cap(sc.arena) > scratchKeepBytes {
+		sc.arena = nil
+	}
+	if cap(sc.out) > scratchKeepBytes {
+		sc.out = nil
+	}
+	scratchPool.Put(sc)
+}
+
+// readBody reads the whole request body into the scratch buffer (or a
+// fresh one without scratch), enforcing the maxBodyBytes cap the way
+// http.MaxBytesReader did on the generic path.
+func readBody(sc *reqScratch, r *http.Request) ([]byte, error) {
+	var buf []byte
+	if sc != nil {
+		buf = sc.body[:0]
+	}
+	for {
+		if len(buf) >= maxBodyBytes {
+			// A body of exactly maxBodyBytes is legal; reject only when
+			// more bytes actually follow.
+			var probe [1]byte
+			n, err := r.Body.Read(probe[:])
+			if n > 0 {
+				return nil, errors.New("http: request body too large")
+			}
+			if err == io.EOF {
+				return buf, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		end := cap(buf)
+		if end > maxBodyBytes {
+			end = maxBodyBytes
+		}
+		n, err := r.Body.Read(buf[len(buf):end])
+		buf = buf[:len(buf)+n]
+		if sc != nil {
+			sc.body = buf
+		}
+		switch {
+		case err == io.EOF:
+			return buf, nil
+		case err != nil:
+			return nil, err
+		}
+	}
 }
 
 // --- handlers --------------------------------------------------------------
@@ -434,6 +603,9 @@ func verifyFailReason(err error) string {
 }
 
 func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
+	// Enrollment is the one route with a legitimately large body; it keeps
+	// the generic reflective decoding path, capped the classic way.
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req EnrollRequest
 	if r.Header.Get("Content-Type") == EnrollContentTypeBinary {
 		if err := decodeEnrollBinary(r.Body, &req); err != nil {
@@ -472,18 +644,34 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, EnrollResponse{ID: info.ID, Pairs: info.Pairs, Bits: info.Bits, Fresh: info.Fresh})
 }
 
+// handleChallenge is a hand-coded hot path: pooled body read, hand JSON
+// parse and encode (byte-identical to the generic encoder — see
+// jsonwire.go), and an inline store span instead of a closure.
 func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
-	var req ChallengeRequest
-	if !decode(w, r, &req) {
+	sc, _ := w.(*reqScratch)
+	body, err := readBody(sc, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
 		return
 	}
-	var nonce string
-	var ch *auth.Challenge
-	var fresh int
-	err := s.inStore(r.Context(), "challenge", func() (err error) {
-		nonce, ch, fresh, err = s.store.Challenge(req.ID, req.K)
-		return err
-	})
+	var arena []byte
+	if sc != nil {
+		arena = sc.arena
+	}
+	id, k, arena, perr := parseChallengeRequest(body, arena)
+	if sc != nil {
+		sc.arena = arena
+	}
+	if perr != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON body: "+perr.Error())
+		return
+	}
+	_, span := s.tracer.Start(r.Context(), "store.challenge")
+	nonce, ch, fresh, err := s.store.Challenge(id, k)
+	if err != nil && span != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -491,36 +679,56 @@ func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
 	s.emitAudit(r.Context(), audit.EventChallenge, ch.DeviceID, "", map[string]float64{
 		"k": float64(len(ch.Pairs)), "fresh_after": float64(fresh),
 	})
-	writeJSON(w, http.StatusOK, ChallengeResponse{ChallengeID: nonce, ID: ch.DeviceID, Pairs: ch.Pairs, Fresh: fresh})
+	writeChallengeJSON(w, sc, ChallengeResponse{ChallengeID: nonce, ID: ch.DeviceID, Pairs: ch.Pairs, Fresh: fresh})
 }
 
+// handleVerify is the hottest route and runs allocation-free apart from
+// the two identity strings the store may retain: pooled body buffer, hand
+// JSON parse straight into a pooled bit stream, pooled reference scratch
+// inside the verifier, and a hand-encoded response.
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	var req VerifyRequest
-	if !decode(w, r, &req) {
+	sc, _ := w.(*reqScratch)
+	body, err := readBody(sc, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
 		return
 	}
-	resp, err := bits.FromString(req.Response)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	var arena []byte
+	resp := &bits.Stream{}
+	if sc != nil {
+		arena = sc.arena
+		resp = &sc.resp
+	}
+	resp.Reset()
+	id, challengeID, bitsErr, arena, perr := parseVerifyRequest(body, arena, resp)
+	if sc != nil {
+		sc.arena = arena
+	}
+	if perr != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON body: "+perr.Error())
 		return
 	}
-	var ok bool
-	var dist, limit int
-	err = s.inStore(r.Context(), "verify", func() (err error) {
-		ok, dist, limit, err = s.store.Verify(req.ID, req.ChallengeID, resp)
-		return err
-	})
+	if bitsErr != nil {
+		writeError(w, http.StatusBadRequest, bitsErr.Error())
+		return
+	}
+	_, span := s.tracer.Start(r.Context(), "store.verify")
+	ok, dist, limit, err := s.store.Verify(id, challengeID, resp)
+	if err != nil && span != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
 	if err != nil {
-		s.emitAudit(r.Context(), audit.EventVerifyFail, req.ID, verifyFailReason(err), nil)
+		s.emitAudit(r.Context(), audit.EventVerifyFail, id, verifyFailReason(err), nil)
 		writeStoreError(w, err)
 		return
 	}
 	if !ok {
-		s.emitAudit(r.Context(), audit.EventVerifyFail, req.ID, verifyFailReason(nil), map[string]float64{
+		s.emitAudit(r.Context(), audit.EventVerifyFail, id, verifyFailReason(nil), map[string]float64{
 			"distance": float64(dist), "limit": float64(limit),
 		})
 	}
-	writeJSON(w, http.StatusOK, VerifyResponse{OK: ok, Distance: dist, Limit: limit, Bits: resp.Len()})
+	writeVerifyJSON(w, sc, VerifyResponse{OK: ok, Distance: dist, Limit: limit, Bits: resp.Len()})
 }
 
 func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
@@ -583,16 +791,61 @@ func writeStoreError(w http.ResponseWriter, err error) {
 	}
 }
 
+// jsonCT is the Content-Type header value shared by every response; the
+// slice is assigned into the header map directly — it is never mutated,
+// and sharing it saves the per-request []string{...} that Header().Set
+// builds.
+var jsonCT = []string{"application/json"}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header()["Content-Type"] = jsonCT
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
 
+// writeWire sends a pre-encoded JSON body.
+func writeWire(w http.ResponseWriter, code int, body []byte) {
+	w.Header()["Content-Type"] = jsonCT
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+func writeVerifyJSON(w http.ResponseWriter, sc *reqScratch, v VerifyResponse) {
+	var out []byte
+	if sc != nil {
+		out = sc.out[:0]
+	}
+	out = appendVerifyResponse(out, v)
+	if sc != nil {
+		sc.out = out
+	}
+	writeWire(w, http.StatusOK, out)
+}
+
+func writeChallengeJSON(w http.ResponseWriter, sc *reqScratch, v ChallengeResponse) {
+	var out []byte
+	if sc != nil {
+		out = sc.out[:0]
+	}
+	out = appendChallengeResponse(out, v)
+	if sc != nil {
+		sc.out = out
+	}
+	writeWire(w, http.StatusOK, out)
+}
+
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, ErrorResponse{Error: msg})
+	// Errors reuse the scratch encoding buffer when the request came
+	// through instrument; the rendered bytes are identical to the generic
+	// encoder's ErrorResponse output.
+	if sc, ok := w.(*reqScratch); ok {
+		sc.out = appendErrorResponse(sc.out[:0], msg)
+		writeWire(w, code, sc.out)
+		return
+	}
+	writeWire(w, code, appendErrorResponse(nil, msg))
 }
 
 // --- serving & graceful drain ----------------------------------------------

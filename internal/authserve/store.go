@@ -18,14 +18,26 @@
 //
 // With a data directory configured, every mutation (enroll, challenge
 // issuance) appends one checksummed record to the owning shard's
-// write-ahead log and fsyncs it (policy permitting) *before* the call
-// returns — O(record) work, not the O(shard) snapshot rewrite this
-// replaced. If the append fails, the in-memory mutation is rolled back
-// before the error is returned, so a client that retries after a
-// durability failure does not collide with a ghost of its failed call.
-// Consumed-pair state is therefore durable by the time a challenge
-// reaches the network: a device re-challenged after a crash can never be
-// asked to re-expose bits it already revealed.
+// write-ahead log and — under FsyncAlways — waits for the shard's group
+// committer to fsync it *before* the call returns: O(record) work, and
+// one fsync amortized over every record that queued while the previous
+// batch was flushing (wal.go). The mutation is applied in memory and the
+// record enqueued under the shard lock, but the durability wait happens
+// after the lock is released, so concurrent mutations on one shard
+// overlap their fsync waits instead of serializing them. The price is a
+// visibility window: a mutation is briefly observable in memory before
+// it is durable. Writers never acknowledge inside that window (they wait
+// first, and roll the mutation back — re-acquiring the lock — if the
+// commit fails), and challenge IDs only reach the network after the
+// wait, so nothing a client can act on precedes its own durability.
+// Read-only endpoints may observe the window; they expose no consumed
+// bits. A failed group commit latches the shard's WAL broken, failing
+// every queued and later mutation, because a later record may depend on
+// an earlier one in the failed batch — committing a suffix without its
+// prefix would let replay see effects without causes. Consumed-pair
+// state is still durable by the time a challenge reaches the network: a
+// device re-challenged after a crash can never be asked to re-expose
+// bits it already revealed.
 //
 // Recovery at Open is snapshot + log replay: load the shard snapshot if
 // one exists, then re-apply the log's records, truncating any torn tail
@@ -49,7 +61,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -155,11 +166,15 @@ type Store struct {
 	// they are recent.
 	walFailures atomic.Int64
 
-	walFsyncDur  *obs.Histogram
-	walRecords   *obs.CounterVec
-	walBytes     *obs.Counter
-	compactions  *obs.Counter
-	shardDevices *obs.GaugeVec
+	walFsyncDur     *obs.Histogram
+	walRecords      *obs.CounterVec
+	walRecEnrolls   *obs.Counter // walRecords series, resolved once for the hot path
+	walRecConsumes  *obs.Counter
+	walBytes        *obs.Counter
+	walGroupRecords *obs.Histogram
+	walGroupDur     *obs.Histogram
+	compactions     *obs.Counter
+	shardDevices    *obs.GaugeVec
 
 	compact   *compactor
 	closeOnce sync.Once
@@ -243,8 +258,16 @@ func Open(opt StoreOptions) (*Store, error) {
 		"Latency of the per-record WAL fsync on the mutation path.", nil)
 	s.walRecords = reg.NewCounterVec("ropuf_authserve_wal_records_total",
 		"WAL records appended, by record type.", "type")
+	s.walRecEnrolls = s.walRecords.With("enroll")
+	s.walRecConsumes = s.walRecords.With("consume")
 	s.walBytes = reg.NewCounter("ropuf_authserve_wal_appended_bytes_total",
 		"Bytes appended to shard WALs (headers included).")
+	s.walGroupRecords = reg.NewHistogram("ropuf_authserve_wal_group_commit_records",
+		"Records folded into each WAL group commit — the batching factor. "+
+			"A p50 of 1 under concurrent load means group commit is not engaging.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	s.walGroupDur = reg.NewHistogram("ropuf_authserve_wal_group_commit_duration_seconds",
+		"Latency of each WAL group commit's write+fsync.", nil)
 	s.compactions = reg.NewCounter("ropuf_authserve_wal_compactions_total",
 		"Shard WALs folded into their snapshot.")
 	reg.NewGaugeFunc("ropuf_authserve_wal_size_bytes",
@@ -259,6 +282,17 @@ func Open(opt StoreOptions) (*Store, error) {
 	reg.NewCounterFunc("ropuf_authserve_wal_append_failures_total",
 		"WAL appends/resets that failed (each failed a mutating request).",
 		func() float64 { return float64(s.walFailures.Load()) })
+	reg.NewGaugeFunc("ropuf_authserve_wal_waiters",
+		"Mutations parked on a WAL group commit right now.",
+		func() float64 {
+			var n int64
+			for _, sh := range s.shards {
+				if sh != nil && sh.wal != nil {
+					n += sh.wal.waiters.Load()
+				}
+			}
+			return float64(n)
+		})
 	s.shardDevices = reg.NewGaugeVec("ropuf_authserve_shard_devices",
 		"Devices enrolled per shard — a skewed distribution here means the "+
 			"FNV placement is fighting the ID scheme.", "shard")
@@ -313,6 +347,18 @@ func Open(opt StoreOptions) (*Store, error) {
 				return nil, err
 			}
 			w.onFsync = func(d time.Duration) { s.walFsyncDur.Observe(d.Seconds()) }
+			// Runs on the shard's committer goroutine after each
+			// successful group commit; size bookkeeping and the
+			// compaction kick moved here because only the committer
+			// knows when queued bytes become committed bytes.
+			w.onCommit = func(records int, _, size int64, d time.Duration) {
+				sh.walSize.Store(size)
+				s.walGroupRecords.Observe(float64(records))
+				s.walGroupDur.Observe(d.Seconds())
+				if s.compact != nil && size >= s.opt.CompactBytes {
+					s.compact.kick()
+				}
+			}
 			if err := replayWAL(sh.v, recs, w.path); err != nil {
 				w.close()
 				return nil, err
@@ -410,13 +456,22 @@ func (s *Store) checkManifest() error {
 	return nil
 }
 
-// shardFor routes a device ID to its owning shard. The modulo is done in
+// shardFor routes a device ID to its owning shard via FNV-1a, computed
+// inline — hash.Hash32 would cost two allocations (the hasher and the
+// string→[]byte copy) on every store operation. The modulo is done in
 // uint32 space: converting the hash to int first would go negative (and
 // panic on the index) for high-bit hashes on 32-bit platforms.
 func (s *Store) shardFor(id string) *shard {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(id))
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return s.shards[h%uint32(len(s.shards))]
 }
 
 // Tolerance returns the store's accepted Hamming-distance fraction.
@@ -425,36 +480,69 @@ func (s *Store) Tolerance() float64 { return s.opt.Tolerance }
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
-// appendLocked logs one mutation record on a shard whose lock the caller
-// holds, fsyncing per policy, and kicks the compactor when the log passes
-// the threshold. The caller rolls back its in-memory mutation on error.
-func (s *Store) appendLocked(sh *shard, payload []byte, recType string) error {
-	if err := sh.wal.append(payload); err != nil {
+// submitLocked hands one mutation record to the shard's WAL; the caller
+// holds the shard lock. A nil pending (with nil error) means the record
+// is already as durable as the policy makes it (FsyncOff) — otherwise
+// the caller must release the shard lock, wait() on the pending, and
+// roll its in-memory mutation back if the wait fails. A non-nil error is
+// a submit-time failure: nothing was enqueued and the caller rolls back
+// under its current lock hold (PR 6 semantics).
+func (s *Store) submitLocked(sh *shard, payload []byte) (*walPending, error) {
+	pend, err := sh.wal.submit(payload)
+	if err != nil {
+		s.walFailures.Add(1)
+		return nil, fmt.Errorf("%w: %w", ErrPersist, err)
+	}
+	if pend == nil { // synchronous policy: the size is already final
+		size := sh.wal.committedSize()
+		sh.walSize.Store(size)
+		if s.compact != nil && size >= s.opt.CompactBytes {
+			s.compact.kick()
+		}
+	}
+	return pend, nil
+}
+
+// waitDurable parks on a pending group commit (nil is a no-op for the
+// synchronous policies). Must be called without the shard lock held.
+func (s *Store) waitDurable(pend *walPending) error {
+	if pend == nil {
+		return nil
+	}
+	if err := pend.wait(); err != nil {
 		s.walFailures.Add(1)
 		return fmt.Errorf("%w: %w", ErrPersist, err)
-	}
-	sh.walSize.Store(sh.wal.size)
-	s.walRecords.With(recType).Inc()
-	s.walBytes.Add(walHeaderLen + int64(len(payload)))
-	if s.compact != nil && sh.wal.size >= s.opt.CompactBytes {
-		s.compact.kick()
 	}
 	return nil
 }
 
+// recordAppended bumps the per-type durable-record counters once a
+// record's commit is confirmed. The two series are resolved once at Open
+// — With(...) on the hot path would pay a variadic slice and a family
+// lookup per request.
+func (s *Store) recordAppended(rec *obs.Counter, payloadLen int) {
+	rec.Inc()
+	s.walBytes.Add(walHeaderLen + int64(payloadLen))
+}
+
 // Enroll registers a device and, with persistence enabled, makes the
-// enrollment durable before returning. If the durability write fails the
-// in-memory enrollment is rolled back, so the client's retry starts clean
-// instead of hitting ErrDuplicateDevice against a record that was never
-// made durable.
+// enrollment durable before returning. The in-memory mutation and the
+// WAL submit happen under the shard lock; the group-commit wait happens
+// after it is released, so concurrent enrolls on one shard overlap their
+// fsync waits. If the durability write fails the in-memory enrollment is
+// rolled back (re-acquiring the lock when the failure surfaces at commit
+// time), so the client's retry starts clean instead of hitting
+// ErrDuplicateDevice against a record that was never made durable.
 func (s *Store) Enroll(id string, pairs []core.Pair, mode core.Mode) (DeviceInfo, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	rec, err := sh.v.Enroll(id, pairs, mode)
 	if err != nil {
+		sh.mu.Unlock()
 		return DeviceInfo{}, err
 	}
+	var pend *walPending
+	payloadLen := 0
 	if sh.wal != nil {
 		enc, err := rec.Enrollment.AppendBinary(nil)
 		var payload []byte
@@ -462,52 +550,74 @@ func (s *Store) Enroll(id string, pairs []core.Pair, mode core.Mode) (DeviceInfo
 			payload, err = encodeEnrollRecord(id, enc)
 		}
 		if err == nil {
-			err = s.appendLocked(sh, payload, "enroll")
+			pend, err = s.submitLocked(sh, payload)
+			payloadLen = len(payload)
 		}
 		if err != nil {
 			sh.v.Unenroll(id)
+			sh.mu.Unlock()
 			return DeviceInfo{}, err
 		}
 	}
 	sh.statsFor(id).enrolls++
 	s.shardDevices.With(sh.label).Add(1)
 	fresh, _ := sh.v.NumFresh(id)
-	return DeviceInfo{
+	info := DeviceInfo{
 		ID:    id,
 		Pairs: len(rec.Enrollment.Selections),
 		Bits:  rec.Enrollment.NumBits(),
 		Fresh: fresh,
-	}, nil
+	}
+	sh.mu.Unlock()
+	if err := s.waitDurable(pend); err != nil {
+		sh.mu.Lock()
+		sh.v.Unenroll(id)
+		sh.statsFor(id).enrolls--
+		s.shardDevices.With(sh.label).Add(-1)
+		sh.mu.Unlock()
+		return DeviceInfo{}, err
+	}
+	if sh.wal != nil {
+		s.recordAppended(s.walRecEnrolls, payloadLen)
+	}
+	return info, nil
 }
 
 // Challenge draws a single-use challenge of length k and returns its
 // one-time ID plus the device's remaining fresh-pair count after the
 // draw. The consumed-pair state is durable before the challenge is
-// returned; the ID itself is memory-only and dies with the process. If
-// the durability write fails the consumption is rolled back — the pairs
-// never left the process, so returning them to the fresh pool leaks
-// nothing and the client's retry can draw again.
+// returned — the group-commit wait happens after the shard lock is
+// released, but the nonce only reaches the network once the wait
+// succeeds, and nobody else can learn it meanwhile. If the durability
+// write fails the consumption is rolled back — the pairs never left the
+// process, so returning them to the fresh pool leaks nothing and the
+// client's retry can draw again.
 func (s *Store) Challenge(id string, k int) (string, *auth.Challenge, int, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	ch, err := sh.v.NewChallenge(id, k)
 	if err != nil {
+		sh.mu.Unlock()
 		return "", nil, 0, err
 	}
+	var pend *walPending
+	payloadLen := 0
 	if sh.wal != nil {
-		payload, err := encodeConsumeRecord(id, ch.Pairs)
+		payload, perr := encodeConsumeRecord(id, ch.Pairs)
+		err = perr
 		if err == nil {
-			err = s.appendLocked(sh, payload, "consume")
+			pend, err = s.submitLocked(sh, payload)
+			payloadLen = len(payload)
 		}
 		if err != nil {
 			if rerr := sh.v.UnmarkUsed(id, ch.Pairs); rerr != nil {
 				err = errors.Join(err, rerr)
 			}
+			sh.mu.Unlock()
 			return "", nil, 0, err
 		}
 	}
-	nonce := fmt.Sprintf("%016x%016x", sh.nonceRNG.Uint64(), sh.nonceRNG.Uint64())
+	nonce := nonceHex(sh.nonceRNG.Uint64(), sh.nonceRNG.Uint64())
 	sh.outstanding[nonce] = ch
 	d := sh.statsFor(id)
 	d.challenges++
@@ -516,7 +626,47 @@ func (s *Store) Challenge(id string, k int) (string, *auth.Challenge, int, error
 	b.challenges++
 	b.pairs += int64(len(ch.Pairs))
 	fresh, _ := sh.v.NumFresh(id)
+	sh.mu.Unlock()
+	if err := s.waitDurable(pend); err != nil {
+		// Roll back under a fresh lock hold. The telemetry unwind is
+		// best-effort: if the ring advanced during the wait the counts
+		// come off the current bucket — acceptable skew on a path that
+		// only runs when the disk is failing. UnmarkUsed can report
+		// unknown-device if the device's own enroll record died in the
+		// same failed batch and its caller rolled back first; the end
+		// state (device gone, pairs moot) is consistent either way.
+		sh.mu.Lock()
+		delete(sh.outstanding, nonce)
+		rerr := sh.v.UnmarkUsed(id, ch.Pairs)
+		d := sh.statsFor(id)
+		d.challenges--
+		b := &d.ring[d.lastStep%telemetryBuckets]
+		b.challenges--
+		b.pairs -= int64(len(ch.Pairs))
+		sh.mu.Unlock()
+		if rerr != nil && !errors.Is(rerr, auth.ErrUnknownDevice) {
+			err = errors.Join(err, rerr)
+		}
+		return "", nil, 0, err
+	}
+	if sh.wal != nil {
+		s.recordAppended(s.walRecConsumes, payloadLen)
+	}
 	return nonce, ch, fresh, nil
+}
+
+// nonceHex renders two RNG words as the 32-hex-digit challenge ID —
+// equivalent to fmt.Sprintf("%016x%016x", hi, lo) at one allocation.
+func nonceHex(hi, lo uint64) string {
+	const digits = "0123456789abcdef"
+	var b [32]byte
+	for i := 0; i < 16; i++ {
+		b[15-i] = digits[hi&0xf]
+		hi >>= 4
+		b[31-i] = digits[lo&0xf]
+		lo >>= 4
+	}
+	return string(b[:])
 }
 
 // Verify checks a response against the outstanding challenge, consuming

@@ -1,22 +1,10 @@
 package authserve
 
 import (
-	"encoding/binary"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
 )
-
-// walFrame frames a payload exactly as wal.append does, so tests can
-// construct files byte-for-byte.
-func walFrame(payload []byte) []byte {
-	rec := make([]byte, walHeaderLen+len(payload))
-	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, walTable))
-	copy(rec[walHeaderLen:], payload)
-	return rec
-}
 
 func TestWALRecordRoundTrip(t *testing.T) {
 	enrPayload, err := encodeEnrollRecord("dev-high-bit-ÿ", []byte(`{"version":1}`))
@@ -116,12 +104,12 @@ func TestOpenWALTruncatesAndAppends(t *testing.T) {
 	if len(recs) != 1 || tornBytes != 3 {
 		t.Fatalf("recovered %d records, %d torn bytes; want 1, 3", len(recs), tornBytes)
 	}
-	if fi, _ := os.Stat(path); fi.Size() != w.size {
-		t.Fatalf("file is %d bytes after truncation, wal thinks %d", fi.Size(), w.size)
+	if fi, _ := os.Stat(path); fi.Size() != w.committedSize() {
+		t.Fatalf("file is %d bytes after truncation, wal thinks %d", fi.Size(), w.committedSize())
 	}
 
 	p2, _ := encodeConsumeRecord("beta", []int{2, 3})
-	if err := w.append(p2); err != nil {
+	if err := w.appendSync(p2); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.close(); err != nil {
@@ -147,23 +135,23 @@ func TestWALReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	p, _ := encodeConsumeRecord("d", []int{1})
-	if err := w.append(p); err != nil {
+	if err := w.appendSync(p); err != nil {
 		t.Fatal(err)
 	}
-	if w.size == 0 {
+	if w.committedSize() == 0 {
 		t.Fatal("append did not grow the log")
 	}
 	if err := w.reset(); err != nil {
 		t.Fatal(err)
 	}
-	if w.size != 0 {
-		t.Fatalf("size %d after reset", w.size)
+	if w.committedSize() != 0 {
+		t.Fatalf("size %d after reset", w.committedSize())
 	}
 	if fi, _ := os.Stat(path); fi.Size() != 0 {
 		t.Fatalf("file %d bytes after reset", fi.Size())
 	}
 	// The log stays usable after a reset.
-	if err := w.append(p); err != nil {
+	if err := w.appendSync(p); err != nil {
 		t.Fatal(err)
 	}
 	w.close()

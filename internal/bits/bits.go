@@ -79,6 +79,32 @@ func (s *Stream) Append(b bool) {
 	s.n++
 }
 
+// Reset truncates the stream to zero bits, keeping its capacity. Append
+// writes an explicit zero word at each word boundary, so stale contents
+// are never observable after a Reset.
+func (s *Stream) Reset() {
+	s.words = s.words[:0]
+	s.n = 0
+}
+
+// AppendChars appends one bit per '0'/'1' byte of str. It is FromString
+// for a reusable stream: same parse, same error, no allocation when the
+// stream's capacity suffices. On error the stream holds the bits parsed
+// before the offending character.
+func (s *Stream) AppendChars(str []byte) error {
+	for i := 0; i < len(str); i++ {
+		switch str[i] {
+		case '0':
+			s.Append(false)
+		case '1':
+			s.Append(true)
+		default:
+			return fmt.Errorf("bits: invalid character %q at position %d", str[i], i)
+		}
+	}
+	return nil
+}
+
 // AppendStream appends all bits of t to s.
 func (s *Stream) AppendStream(t *Stream) {
 	for i := 0; i < t.n; i++ {
